@@ -1,0 +1,256 @@
+package repro
+
+// One benchmark per table and figure in the paper's evaluation. Each
+// benchmark regenerates its result at quick scale per iteration (set
+// FIRESIM_FULL=1 to run paper-sized parameters) and reports throughput
+// metrics where meaningful. The rendered outputs are printed once per
+// benchmark via b.Logf, visible with -v.
+//
+// Microbenchmarks for the substrates (token transport, switch, RV64 core,
+// DRAM) follow the experiment benchmarks.
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/experiments"
+	"repro/internal/fame"
+	"repro/internal/riscv"
+	"repro/internal/switchmodel"
+	"repro/internal/token"
+)
+
+func scale() experiments.Scale {
+	return experiments.Scale{Quick: os.Getenv("FIRESIM_FULL") == ""}
+}
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	var rendered string
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(name, scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rendered = res.Render()
+	}
+	b.Logf("\n%s", rendered)
+}
+
+// BenchmarkTableIServerBlade renders the Table I blade configuration.
+func BenchmarkTableIServerBlade(b *testing.B) { benchExperiment(b, "tableI") }
+
+// BenchmarkTableIIAccelerators renders the Table II accelerator catalog.
+func BenchmarkTableIIAccelerators(b *testing.B) { benchExperiment(b, "tableII") }
+
+// BenchmarkFig5PingLatency regenerates Figure 5: ping RTT vs configured
+// link latency (ideal + ~34 us stack overhead).
+func BenchmarkFig5PingLatency(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkIperf3Linux regenerates Section IV-B: ~1.4 Gbit/s through the
+// modeled Linux stack.
+func BenchmarkIperf3Linux(b *testing.B) { benchExperiment(b, "iperf") }
+
+// BenchmarkBareMetalBandwidth regenerates Section IV-C: a single NIC
+// driving ~100 Gbit/s, bounded by DDR3 streaming bandwidth.
+func BenchmarkBareMetalBandwidth(b *testing.B) { benchExperiment(b, "baremetal") }
+
+// BenchmarkFig6Saturation regenerates Figure 6: staggered senders ramping
+// the root switch to saturation under NIC rate limits.
+func BenchmarkFig6Saturation(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7ThreadImbalance regenerates Figure 7: memcached tail
+// latency under thread imbalance and pinning.
+func BenchmarkFig7ThreadImbalance(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8SimRateVsScale regenerates Figure 8: simulation rate vs
+// simulated cluster size.
+func BenchmarkFig8SimRateVsScale(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9SimRateVsLatency regenerates Figure 9: simulation rate vs
+// simulated link latency (token batch size).
+func BenchmarkFig9SimRateVsLatency(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Deploy1024 regenerates Figure 10 / Section V-C: the
+// 1024-node datacenter deployment, its cost, and its simulation rate.
+func BenchmarkFig10Deploy1024(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkTableIIIMemcached1024 regenerates Table III: datacenter-scale
+// memcached latency vs pairing distance.
+func BenchmarkTableIIIMemcached1024(b *testing.B) { benchExperiment(b, "tableIII") }
+
+// BenchmarkFig11PFA regenerates Figure 11: hardware-accelerated vs
+// software paging.
+func BenchmarkFig11PFA(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkUtilization renders the Section III-A5 FPGA LUT budget.
+func BenchmarkUtilization(b *testing.B) { benchExperiment(b, "utilization") }
+
+// BenchmarkCostModel renders the Section V-C cost arithmetic.
+func BenchmarkCostModel(b *testing.B) { benchExperiment(b, "cost") }
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkTokenTransport measures raw token-round throughput of the
+// FAME-1 runtime on an idle 8-node rack: target cycles simulated per
+// second.
+func BenchmarkTokenTransport(b *testing.B) {
+	c, err := core.Deploy(core.Rack("tor0", 8, core.QuadCore), core.DeployConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	step := c.Runner.Step()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Runner.Run(step); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(step)*float64(b.N)/b.Elapsed().Seconds()/1e6, "target-MHz")
+}
+
+// BenchmarkParallelRunner measures the goroutine-per-endpoint runner on
+// the same topology.
+func BenchmarkParallelRunner(b *testing.B) {
+	c, err := core.Deploy(core.Rack("tor0", 8, core.QuadCore), core.DeployConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	step := c.Runner.Step()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Runner.RunParallel(step * 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(step*16)*float64(b.N)/b.Elapsed().Seconds()/1e6, "target-MHz")
+}
+
+// BenchmarkSwitchSaturated measures the switch model under a saturating
+// bidirectional load.
+func BenchmarkSwitchSaturated(b *testing.B) {
+	r := fame.NewRunner()
+	a := fame.NewSource("a")
+	sink := fame.NewSink("sink")
+	sw := newBenchSwitch()
+	r.Add(a)
+	r.Add(sink)
+	r.Add(sw)
+	if err := r.Connect(a, 0, sw, 0, 640); err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Connect(sw, 1, sink, 0, 640); err != nil {
+		b.Fatal(err)
+	}
+	// Saturating stream: back-to-back 64-byte frames forever.
+	for c := int64(0); c < 1_000_000; c += 8 {
+		a.EmitPacketAt(c, benchFlits)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(640); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(640*b.N)/b.Elapsed().Seconds()/1e6, "target-MHz")
+}
+
+// BenchmarkRV64Core measures the core model's interpretation speed on a
+// tight arithmetic loop (target instructions per second).
+func BenchmarkRV64Core(b *testing.B) {
+	a := riscv.NewAsm()
+	a.LI(riscv.T0, 0)
+	a.Label("loop")
+	a.ADDI(riscv.T0, riscv.T0, 1)
+	a.XOR(riscv.T1, riscv.T0, riscv.T0)
+	a.OR(riscv.T1, riscv.T1, riscv.T0)
+	a.J("loop")
+	bus := &flatBenchBus{mem: make([]byte, 1<<16)}
+	words := a.MustAssemble()
+	for i, w := range words {
+		bus.store32(uint64(i*4), w)
+	}
+	cpu := riscv.New(bus, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "target-MIPS")
+}
+
+// BenchmarkDRAMStream measures the DRAM timing model on a streaming
+// access pattern.
+func BenchmarkDRAMStream(b *testing.B) {
+	m := dram.New(dram.Config{})
+	var now clock.Cycles
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(now, uint64(i%(1<<20))*64, false)
+		now++
+	}
+}
+
+// --- benchmark scaffolding ---
+
+// benchFlits is a 64-byte frame whose first flit carries the length field
+// (0x0040) and destination MAC 02:00:00:00:00:02.
+var benchFlits = []uint64{0x0040_0200_0000_0002, 2, 3, 4, 5, 6, 7, 8}
+
+func newBenchSwitch() *switchmodel.Switch {
+	sw := switchmodel.New(switchmodel.Config{Name: "tor", Ports: 2})
+	sw.MACTable().Set(0x0200_0000_0002, 1)
+	return sw
+}
+
+type flatBenchBus struct {
+	mem []byte
+}
+
+func (f *flatBenchBus) store32(addr uint64, w uint32) {
+	f.mem[addr] = byte(w)
+	f.mem[addr+1] = byte(w >> 8)
+	f.mem[addr+2] = byte(w >> 16)
+	f.mem[addr+3] = byte(w >> 24)
+}
+
+func (f *flatBenchBus) Fetch(addr uint64) (uint32, clock.Cycles) {
+	return uint32(f.mem[addr]) | uint32(f.mem[addr+1])<<8 | uint32(f.mem[addr+2])<<16 | uint32(f.mem[addr+3])<<24, 0
+}
+
+func (f *flatBenchBus) Load(addr uint64, size int) (uint64, clock.Cycles) {
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(f.mem[addr+uint64(i)])
+	}
+	return v, 0
+}
+
+func (f *flatBenchBus) Store(addr uint64, size int, v uint64) clock.Cycles {
+	for i := 0; i < size; i++ {
+		f.mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+	return 0
+}
+
+// noCopy guard for the token package import (Batch is used by the switch
+// bench plumbing).
+var _ = token.Empty
+
+// BenchmarkSingleNodeSuite regenerates the Section VIII parallel
+// single-node benchmarking workflow (cycle-exact kernel suite).
+func BenchmarkSingleNodeSuite(b *testing.B) { benchExperiment(b, "singlenode") }
+
+// BenchmarkAblationNewQ regenerates the PFA newQ batching ablation.
+func BenchmarkAblationNewQ(b *testing.B) { benchExperiment(b, "ablation-newq") }
+
+// BenchmarkAblationSwitchBuf regenerates the incast buffer-sizing ablation.
+func BenchmarkAblationSwitchBuf(b *testing.B) { benchExperiment(b, "ablation-switchbuf") }
+
+// BenchmarkAblationBatching regenerates the token-batching ablation: the
+// paper's batch-to-link-latency rule, with a target-level RTT proving
+// cycle accuracy at every batch size.
+func BenchmarkAblationBatching(b *testing.B) { benchExperiment(b, "ablation-batching") }

@@ -1,0 +1,55 @@
+// Command firesim-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	firesim-bench                 # run every experiment at quick scale
+//	firesim-bench -full           # full (paper-sized) parameters
+//	firesim-bench -exp fig5,fig7  # a subset
+//	firesim-bench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+	full := flag.Bool("full", false, "run at full (paper-sized) scale")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	names := experiments.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	sc := experiments.Scale{Quick: !*full}
+
+	failures := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		res, err := experiments.Run(name, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "!! %s: %v\n", name, err)
+			failures++
+			continue
+		}
+		fmt.Printf("== %s  [%s, %.2fs]\n\n%s\n", res.Title(), name, time.Since(start).Seconds(), res.Render())
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

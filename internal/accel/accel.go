@@ -1,0 +1,187 @@
+// Package accel implements the Table II accelerators that attach to the
+// server blades' MMIO accelerator slots.
+//
+// The paper's Section VIII describes attaching the Hwacha data-parallel
+// vector accelerator to Rocket Chip, "including simulating disaggregated
+// pools of Hwachas". This package provides a Hwacha-style vector unit
+// with a RoCC-flavoured programming model exposed over MMIO: the CPU
+// programs source/destination base addresses and an element count, kicks
+// off a vector operation, and polls (or takes an interrupt on) completion
+// while the unit streams operands through the shared L2 by DMA.
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/nic"
+)
+
+// Vector unit MMIO registers.
+const (
+	RegSrcA   = 0x00 // W: first operand base address
+	RegSrcB   = 0x08 // W: second operand base address
+	RegDst    = 0x10 // W: destination base address
+	RegCount  = 0x18 // W: element count (64-bit elements)
+	RegOp     = 0x20 // W: operation (OpAdd, OpMul, OpMac)
+	RegStart  = 0x28 // W: any write launches the operation
+	RegStatus = 0x30 // R: 0 = idle/done, 1 = busy
+	RegIntrEn = 0x38 // W: enable the completion interrupt
+)
+
+// Vector operations.
+const (
+	OpAdd = 0 // dst[i] = a[i] + b[i]
+	OpMul = 1 // dst[i] = a[i] * b[i]
+	OpMac = 2 // dst[i] = dst[i] + a[i]*b[i]
+)
+
+// Config parameterises the vector unit.
+type Config struct {
+	// Lanes is the number of 64-bit lanes (elements retired per cycle in
+	// the steady state).
+	Lanes int
+	// StartupLatency is the fixed vector-instruction issue cost.
+	StartupLatency clock.Cycles
+}
+
+// DefaultConfig returns a Hwacha-class 4-lane configuration.
+func DefaultConfig() Config {
+	return Config{Lanes: 4, StartupLatency: 20}
+}
+
+// Stats counts accelerator activity.
+type Stats struct {
+	Ops        uint64
+	Elements   uint64
+	BusyCycles clock.Cycles
+}
+
+// Vector is the accelerator device. It implements soc.Device.
+type Vector struct {
+	cfg Config
+	mem nic.Memory
+
+	srcA, srcB, dst, count, op uint64
+	busyUntil                  clock.Cycles
+	busy                       bool
+	intrEn                     bool
+	donePending                bool
+
+	stats Stats
+}
+
+// New builds a vector unit over the blade's DMA port (soc.SoC.DMA()).
+func New(cfg Config, mem nic.Memory) *Vector {
+	if cfg.Lanes <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Vector{cfg: cfg, mem: mem}
+}
+
+// Stats returns a snapshot of the counters.
+func (v *Vector) Stats() Stats { return v.stats }
+
+// MMIOStore implements soc.Device.
+func (v *Vector) MMIOStore(now clock.Cycles, offset uint64, val uint64) {
+	switch offset {
+	case RegSrcA:
+		v.srcA = val
+	case RegSrcB:
+		v.srcB = val
+	case RegDst:
+		v.dst = val
+	case RegCount:
+		v.count = val
+	case RegOp:
+		v.op = val
+	case RegIntrEn:
+		v.intrEn = val != 0
+	case RegStart:
+		v.launch(now)
+	}
+}
+
+// MMIOLoad implements soc.Device.
+func (v *Vector) MMIOLoad(now clock.Cycles, offset uint64) uint64 {
+	switch offset {
+	case RegStatus:
+		if v.busy && now >= v.busyUntil {
+			v.busy = false
+			v.donePending = v.intrEn
+		}
+		if v.busy {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// IntrPending implements soc.Device.
+func (v *Vector) IntrPending() bool { return v.donePending }
+
+// launch executes the programmed vector operation: functionally
+// immediately (against the DRAM backing store), with timing that accounts
+// for operand streaming through the L2 and lane throughput.
+func (v *Vector) launch(now clock.Cycles) {
+	if v.busy || v.count == 0 {
+		return
+	}
+	n := v.count
+	bytes := n * 8
+	a := make([]byte, bytes)
+	b := make([]byte, bytes)
+	d := make([]byte, bytes)
+	tA := v.mem.ReadDMA(now, v.srcA, a)
+	tB := v.mem.ReadDMA(now, v.srcB, b)
+	loadDone := tA
+	if tB > loadDone {
+		loadDone = tB
+	}
+	if v.op == OpMac {
+		if tD := v.mem.ReadDMA(now, v.dst, d); tD > loadDone {
+			loadDone = tD
+		}
+	}
+
+	for i := uint64(0); i < n; i++ {
+		av := le64(a[i*8:])
+		bv := le64(b[i*8:])
+		var dv uint64
+		switch v.op {
+		case OpAdd:
+			dv = av + bv
+		case OpMul:
+			dv = av * bv
+		case OpMac:
+			dv = le64(d[i*8:]) + av*bv
+		default:
+			panic(fmt.Sprintf("accel: unknown vector op %d", v.op))
+		}
+		put64(d[i*8:], dv)
+	}
+
+	compute := loadDone + v.cfg.StartupLatency + clock.Cycles((n+uint64(v.cfg.Lanes)-1)/uint64(v.cfg.Lanes))
+	storeDone := v.mem.WriteDMA(compute, v.dst, d)
+	v.busy = true
+	v.busyUntil = storeDone
+	v.stats.Ops++
+	v.stats.Elements += n
+	v.stats.BusyCycles += storeDone - now
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,88 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/clock"
+	"repro/internal/ethernet"
+	"repro/internal/softstack"
+)
+
+// mathLog hides the math import behind the name used by the mutilate
+// arrival process.
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// IperfPort is the iperf3 control/data port.
+const IperfPort = 5201
+
+// MTU is the standard Ethernet payload budget used by the stream.
+const MTU = 1500
+
+// IperfServer counts stream bytes delivered to userspace.
+type IperfServer struct {
+	node *softstack.Node
+	// Bytes is the total payload received.
+	Bytes uint64
+	// FirstAt/LastAt bracket the receive window for throughput math.
+	FirstAt, LastAt clock.Cycles
+}
+
+// NewIperfServer installs a receiver on the node.
+func NewIperfServer(n *softstack.Node) *IperfServer {
+	s := &IperfServer{node: n}
+	n.HandleUDP(IperfPort, func(now clock.Cycles, src ethernet.IP, srcPort uint16, payload []byte) {
+		if s.Bytes == 0 {
+			s.FirstAt = now
+		}
+		s.Bytes += uint64(len(payload))
+		s.LastAt = now
+	})
+	return s
+}
+
+// GoodputGbps reports the payload throughput over the receive window.
+func (s *IperfServer) GoodputGbps() float64 {
+	if s.LastAt <= s.FirstAt || s.Bytes == 0 {
+		return 0
+	}
+	seconds := float64(s.LastAt-s.FirstAt) / float64(s.node.Clock().Freq())
+	return float64(s.Bytes) * 8 / seconds / 1e9
+}
+
+// IperfClient streams MTU-sized datagrams as fast as the modeled kernel
+// lets one sender thread go: each packet costs KernelTX plus a syscall of
+// CPU time, which is exactly the bottleneck the paper identifies ("the
+// relatively slow single-issue in-order Rocket processor running the
+// network stack in software").
+type IperfClient struct {
+	node   *softstack.Node
+	server ethernet.IP
+	thread *softstack.Thread
+	stopAt clock.Cycles
+	// Sent counts transmitted payload bytes.
+	Sent uint64
+}
+
+// NewIperfClient installs a sender and schedules the stream over
+// [start, start+duration).
+func NewIperfClient(n *softstack.Node, server ethernet.IP, start, duration clock.Cycles) *IperfClient {
+	c := &IperfClient{node: n, server: server, thread: n.NewThread(-1), stopAt: start + duration}
+	n.At(start, func(now clock.Cycles) { c.sendOne(now) })
+	return c
+}
+
+func (c *IperfClient) sendOne(now clock.Cycles) {
+	if now >= c.stopAt {
+		return
+	}
+	costs := c.node.Costs()
+	c.thread.Submit(now, softstack.Job{
+		Cost: costs.KernelTX + costs.Syscall,
+		Fn: func(done clock.Cycles) {
+			payload := make([]byte, MTU)
+			c.Sent += MTU
+			c.node.SendUDPAccounted(done, c.server, IperfPort, IperfPort, payload)
+			c.sendOne(done)
+		},
+	})
+}

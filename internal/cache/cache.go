@@ -1,0 +1,212 @@
+// Package cache implements set-associative cache timing models for the
+// simulated server blades (Table I: 16 KiB L1I, 16 KiB L1D, 256 KiB shared
+// L2).
+//
+// The caches are timing models with functional passthrough: data lives in
+// the DRAM model's backing store, and the caches track tags, LRU state and
+// dirtiness to decide how many cycles an access costs and which DRAM
+// traffic it generates. This mirrors the role cache RTL plays on the FPGA:
+// what the evaluation observes is latency and memory traffic, not the bits
+// in the data array.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the cache in diagnostics ("L1D", "L2", ...).
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+	// HitLatency is the access latency in core cycles on a hit.
+	HitLatency clock.Cycles
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// HitRate returns the fraction of accesses that hit.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set access counter value; higher = more recent.
+	lru uint64
+}
+
+// MemLevel is the next level the cache refills from and writes back to. A
+// cache's parent is either another cache or the DRAM model (adapted via a
+// small shim in package soc).
+type MemLevel interface {
+	// AccessLine models a line-granularity transfer starting no earlier
+	// than now, returning the completion cycle.
+	AccessLine(now clock.Cycles, addr uint64, write bool) clock.Cycles
+}
+
+// Cache is one level of set-associative write-back, write-allocate cache.
+type Cache struct {
+	cfg    Config
+	sets   [][]line
+	nsets  uint64
+	parent MemLevel
+	stats  Stats
+	tick   uint64 // global LRU counter
+}
+
+// New builds a cache over the given parent level.
+func New(cfg Config, parent MemLevel) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	nlines := cfg.SizeBytes / cfg.LineBytes
+	if nlines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by %d ways", cfg.Name, nlines, cfg.Ways))
+	}
+	nsets := nlines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d is not a power of two", cfg.Name, nsets))
+	}
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: uint64(nsets), parent: parent}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr / uint64(c.cfg.LineBytes)
+	return lineAddr % c.nsets, lineAddr / c.nsets
+}
+
+// AccessLine implements MemLevel so caches can stack (L1 -> L2 -> DRAM).
+// It models a whole-line access.
+func (c *Cache) AccessLine(now clock.Cycles, addr uint64, write bool) clock.Cycles {
+	return c.Access(now, addr, write)
+}
+
+// Access models a load (write=false) or store (write=true) touching the
+// line containing addr, returning its completion cycle. Stores are
+// write-back write-allocate: they hit in the cache and mark the line
+// dirty; dirty victims are written back to the parent on eviction.
+func (c *Cache) Access(now clock.Cycles, addr uint64, write bool) clock.Cycles {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	c.tick++
+
+	// Hit?
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			c.stats.Hits++
+			return now + c.cfg.HitLatency
+		}
+	}
+
+	// Miss: prefer an invalid way, otherwise evict the LRU way.
+	c.stats.Misses++
+	victim := -1
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lru < ways[victim].lru {
+				victim = i
+			}
+		}
+	}
+
+	t := now + c.cfg.HitLatency // tag check before going to the parent
+	if ways[victim].valid && ways[victim].dirty {
+		// Write back the victim line first.
+		c.stats.Writebacks++
+		victimAddr := (ways[victim].tag*c.nsets + set) * uint64(c.cfg.LineBytes)
+		t = c.parent.AccessLine(t, victimAddr, true)
+	}
+	// Refill.
+	lineAddr := addr / uint64(c.cfg.LineBytes) * uint64(c.cfg.LineBytes)
+	t = c.parent.AccessLine(t, lineAddr, false)
+
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return t
+}
+
+// Contains reports whether the line holding addr is resident (for tests
+// and invariant checks).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush writes back every dirty line and invalidates the cache, returning
+// the completion cycle. Used by DMA-coherency-free devices in tests.
+func (c *Cache) Flush(now clock.Cycles) clock.Cycles {
+	t := now
+	for set := range c.sets {
+		for i := range c.sets[set] {
+			ln := &c.sets[set][i]
+			if ln.valid && ln.dirty {
+				addr := (ln.tag*c.nsets + uint64(set)) * uint64(c.cfg.LineBytes)
+				t = c.parent.AccessLine(t, addr, true)
+				c.stats.Writebacks++
+			}
+			*ln = line{}
+		}
+	}
+	return t
+}
+
+// Table I geometry helpers.
+
+// DefaultL1I returns the 16 KiB L1 instruction cache configuration.
+func DefaultL1I() Config {
+	return Config{Name: "L1I", SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 1}
+}
+
+// DefaultL1D returns the 16 KiB L1 data cache configuration.
+func DefaultL1D() Config {
+	return Config{Name: "L1D", SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 2}
+}
+
+// DefaultL2 returns the 256 KiB shared L2 configuration.
+func DefaultL2() Config {
+	return Config{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, HitLatency: 12}
+}

@@ -1,0 +1,187 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol identifies the transport protocol inside an IPv4 packet.
+type Protocol uint8
+
+// Transport protocols used by the simulated software stacks.
+const (
+	ProtoICMP Protocol = 1
+	ProtoUDP  Protocol = 17
+	ProtoTCP  Protocol = 6
+)
+
+// ipv4HeaderLen is the fixed (option-free) header length used in
+// simulation.
+const ipv4HeaderLen = 12
+
+// IPv4 is a simplified option-free IPv4 header plus payload.
+type IPv4 struct {
+	Src, Dst IP
+	Proto    Protocol
+	TTL      uint8
+	Payload  []byte
+}
+
+// Encode serialises the packet:
+//
+//	bytes 0..3  src IP
+//	bytes 4..7  dst IP
+//	byte  8     protocol
+//	byte  9     TTL
+//	bytes 10..11 payload length
+//	bytes 12..  payload
+func (p *IPv4) Encode() []byte {
+	buf := make([]byte, ipv4HeaderLen+len(p.Payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(p.Dst))
+	buf[8] = byte(p.Proto)
+	buf[9] = p.TTL
+	binary.BigEndian.PutUint16(buf[10:12], uint16(len(p.Payload)))
+	copy(buf[12:], p.Payload)
+	return buf
+}
+
+// DecodeIPv4 parses a serialised IPv4 packet.
+func DecodeIPv4(buf []byte) (*IPv4, error) {
+	if len(buf) < ipv4HeaderLen {
+		return nil, fmt.Errorf("ethernet: ipv4 packet too short: %d bytes", len(buf))
+	}
+	plen := int(binary.BigEndian.Uint16(buf[10:12]))
+	if ipv4HeaderLen+plen > len(buf) {
+		return nil, fmt.Errorf("ethernet: ipv4 payload length %d exceeds buffer", plen)
+	}
+	return &IPv4{
+		Src:     IP(binary.BigEndian.Uint32(buf[0:4])),
+		Dst:     IP(binary.BigEndian.Uint32(buf[4:8])),
+		Proto:   Protocol(buf[8]),
+		TTL:     buf[9],
+		Payload: append([]byte(nil), buf[ipv4HeaderLen:ipv4HeaderLen+plen]...),
+	}, nil
+}
+
+// ICMPType distinguishes echo requests from replies.
+type ICMPType uint8
+
+// ICMP message types used by the ping workload.
+const (
+	ICMPEchoRequest ICMPType = 8
+	ICMPEchoReply   ICMPType = 0
+)
+
+// ICMP is an echo request/reply message. SentCycle carries the sender's
+// transmission timestamp so RTT can be computed without shared clocks (the
+// network is globally cycle-synchronous, so timestamps are comparable).
+type ICMP struct {
+	Type      ICMPType
+	ID        uint16
+	Seq       uint16
+	SentCycle uint64
+}
+
+// Encode serialises the message.
+func (m *ICMP) Encode() []byte {
+	buf := make([]byte, 16)
+	buf[0] = byte(m.Type)
+	binary.BigEndian.PutUint16(buf[2:4], m.ID)
+	binary.BigEndian.PutUint16(buf[4:6], m.Seq)
+	binary.BigEndian.PutUint64(buf[8:16], m.SentCycle)
+	return buf
+}
+
+// DecodeICMP parses a serialised ICMP message.
+func DecodeICMP(buf []byte) (*ICMP, error) {
+	if len(buf) < 16 {
+		return nil, fmt.Errorf("ethernet: icmp message too short: %d bytes", len(buf))
+	}
+	return &ICMP{
+		Type:      ICMPType(buf[0]),
+		ID:        binary.BigEndian.Uint16(buf[2:4]),
+		Seq:       binary.BigEndian.Uint16(buf[4:6]),
+		SentCycle: binary.BigEndian.Uint64(buf[8:16]),
+	}, nil
+}
+
+// udpHeaderLen is the serialised UDP header length.
+const udpHeaderLen = 8
+
+// UDP is a datagram header plus payload.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// Encode serialises the datagram.
+func (u *UDP) Encode() []byte {
+	buf := make([]byte, udpHeaderLen+len(u.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(u.Payload)))
+	copy(buf[8:], u.Payload)
+	return buf
+}
+
+// DecodeUDP parses a serialised datagram.
+func DecodeUDP(buf []byte) (*UDP, error) {
+	if len(buf) < udpHeaderLen {
+		return nil, fmt.Errorf("ethernet: udp datagram too short: %d bytes", len(buf))
+	}
+	plen := int(binary.BigEndian.Uint32(buf[4:8]))
+	if udpHeaderLen+plen > len(buf) {
+		return nil, fmt.Errorf("ethernet: udp payload length %d exceeds buffer", plen)
+	}
+	return &UDP{
+		SrcPort: binary.BigEndian.Uint16(buf[0:2]),
+		DstPort: binary.BigEndian.Uint16(buf[2:4]),
+		Payload: append([]byte(nil), buf[8:8+plen]...),
+	}, nil
+}
+
+// ARPOp distinguishes ARP requests from replies.
+type ARPOp uint16
+
+// ARP operations.
+const (
+	ARPRequest ARPOp = 1
+	ARPReply   ARPOp = 2
+)
+
+// ARP resolves IP addresses to MAC addresses. The paper's ping benchmark
+// explicitly discards the first sample because it includes an ARP
+// round-trip; modeling ARP lets us reproduce that artifact.
+type ARP struct {
+	Op        ARPOp
+	SenderMAC MAC
+	SenderIP  IP
+	TargetMAC MAC
+	TargetIP  IP
+}
+
+// Encode serialises the message.
+func (a *ARP) Encode() []byte {
+	buf := make([]byte, 2+8+4+8+4)
+	binary.BigEndian.PutUint16(buf[0:2], uint16(a.Op))
+	binary.BigEndian.PutUint64(buf[2:10], uint64(a.SenderMAC))
+	binary.BigEndian.PutUint32(buf[10:14], uint32(a.SenderIP))
+	binary.BigEndian.PutUint64(buf[14:22], uint64(a.TargetMAC))
+	binary.BigEndian.PutUint32(buf[22:26], uint32(a.TargetIP))
+	return buf
+}
+
+// DecodeARP parses a serialised ARP message.
+func DecodeARP(buf []byte) (*ARP, error) {
+	if len(buf) < 26 {
+		return nil, fmt.Errorf("ethernet: arp message too short: %d bytes", len(buf))
+	}
+	return &ARP{
+		Op:        ARPOp(binary.BigEndian.Uint16(buf[0:2])),
+		SenderMAC: MAC(binary.BigEndian.Uint64(buf[2:10])),
+		SenderIP:  IP(binary.BigEndian.Uint32(buf[10:14])),
+		TargetMAC: MAC(binary.BigEndian.Uint64(buf[14:22])),
+		TargetIP:  IP(binary.BigEndian.Uint32(buf[22:26])),
+	}, nil
+}

@@ -1,0 +1,75 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation. Each experiment is a pure function from a Scale (full or
+// quick) to a typed result with a Render method that prints the same rows
+// or series the paper reports. The per-experiment index in DESIGN.md maps
+// each entry here to its paper counterpart; EXPERIMENTS.md records
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects experiment sizing. Quick keeps every experiment's shape
+// while cutting node counts and measurement windows so the full suite
+// runs in seconds (used by tests and the default bench run); Full matches
+// the paper's parameters where feasible.
+type Scale struct {
+	// Quick requests reduced sizing.
+	Quick bool
+}
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// Title names the experiment as in the paper ("Figure 5", ...).
+	Title() string
+	// Render prints the result as text rows/series.
+	Render() string
+}
+
+// Runner is an experiment entry point.
+type Runner func(Scale) (Result, error)
+
+var registry = map[string]Runner{}
+var registryOrder []string
+
+// register adds an experiment under a stable name.
+func register(name string, fn Runner) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("experiments: %q registered twice", name))
+	}
+	registry[name] = fn
+	registryOrder = append(registryOrder, name)
+}
+
+// Names lists the registered experiments in registration order.
+func Names() []string {
+	out := make([]string, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(name string, sc Scale) (Result, error) {
+	fn, ok := registry[name]
+	if !ok {
+		var known []string
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)", name, strings.Join(known, ", "))
+	}
+	return fn(sc)
+}
+
+// textResult is the common Result implementation.
+type textResult struct {
+	title string
+	body  string
+}
+
+func (r textResult) Title() string  { return r.title }
+func (r textResult) Render() string { return r.body }

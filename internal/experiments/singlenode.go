@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/riscv"
+	"repro/internal/soc"
+	"repro/internal/stats"
+	"repro/internal/token"
+)
+
+func init() {
+	register("singlenode", func(sc Scale) (Result, error) { return SingleNode(sc) })
+}
+
+// Section VIII: "Harnessing FireSim's ability to distribute jobs to many
+// parallel single-node simulations, users can run the entire SPECint17
+// benchmark suite ... and obtain cycle-exact results in roughly one day."
+// This experiment is that workflow in miniature: a suite of bare-metal
+// RV64 kernels, each dispatched to its own single-node cycle-exact blade
+// simulation, reporting deterministic cycle counts and IPC.
+
+// SingleNodeRow is one kernel's cycle-exact result.
+type SingleNodeRow struct {
+	Kernel       string
+	Instructions uint64
+	Cycles       clock.Cycles
+	IPC          float64
+	// Check is the kernel's self-computed result, validated against a Go
+	// reference before reporting.
+	Check uint64
+}
+
+// SingleNodeResult is the suite report.
+type SingleNodeResult struct {
+	Rows []SingleNodeRow
+}
+
+// Title implements Result.
+func (SingleNodeResult) Title() string {
+	return "Section VIII: parallel single-node cycle-exact benchmarking"
+}
+
+// Render implements Result.
+func (r SingleNodeResult) Render() string {
+	t := stats.NewTable("Kernel", "Instructions", "Cycles", "IPC", "Result")
+	for _, row := range r.Rows {
+		t.AddRow(row.Kernel, row.Instructions, int64(row.Cycles), fmt.Sprintf("%.3f", row.IPC), row.Check)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("\nEach kernel ran on its own single-node blade simulation (1 Rocket-class\n" +
+		"core, Table I caches and DDR3); results are deterministic and cycle-exact.\n")
+	return b.String()
+}
+
+// suiteBase is where kernels place their data.
+const suiteBase = soc.DRAMBase + 0x40000
+
+type kernel struct {
+	name  string
+	build func(scale int) *riscv.Asm
+	// ref computes the expected A0 result.
+	ref func(scale int) uint64
+}
+
+// SingleNode runs the kernel suite.
+func SingleNode(sc Scale) (SingleNodeResult, error) {
+	scale := 4
+	if sc.Quick {
+		scale = 1
+	}
+	suite := []kernel{
+		{"alu-loop", buildALULoop, refALULoop},
+		{"sieve", buildSieve, refSieve},
+		{"matmul8", buildMatmul, refMatmul},
+		{"memstride", buildMemStride, refMemStride},
+	}
+	var out SingleNodeResult
+	for _, k := range suite {
+		row, err := runKernel(k, scale)
+		if err != nil {
+			return SingleNodeResult{}, fmt.Errorf("singlenode %s: %w", k.name, err)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func runKernel(k kernel, scale int) (SingleNodeRow, error) {
+	prog, err := k.build(scale).Bytes()
+	if err != nil {
+		return SingleNodeRow{}, err
+	}
+	s, err := soc.New(soc.Config{Name: k.name, Cores: 1, MAC: 1}, prog)
+	if err != nil {
+		return SingleNodeRow{}, err
+	}
+	const step = 1024
+	in := []*token.Batch{token.NewBatch(step)}
+	outB := []*token.Batch{token.NewBatch(step)}
+	for !s.Halted() && s.Core(0).Cycle < 2_000_000_000 {
+		outB[0].Reset(step)
+		s.TickBatch(step, in, outB)
+	}
+	if !s.Halted() {
+		return SingleNodeRow{}, fmt.Errorf("did not finish (pc=%#x)", s.Core(0).PC)
+	}
+	cpu := s.Core(0)
+	if want := k.ref(scale); cpu.X[riscv.A0] != want {
+		return SingleNodeRow{}, fmt.Errorf("result = %d, want %d", cpu.X[riscv.A0], want)
+	}
+	st := cpu.Stats()
+	row := SingleNodeRow{
+		Kernel:       k.name,
+		Instructions: st.Instret,
+		Cycles:       cpu.Cycle,
+		Check:        cpu.X[riscv.A0],
+	}
+	if cpu.Cycle > 0 {
+		row.IPC = float64(st.Instret) / float64(cpu.Cycle)
+	}
+	return row, nil
+}
+
+func powerOff(a *riscv.Asm) {
+	a.LI(riscv.T6, int32(soc.PowerOff))
+	a.SD(riscv.Zero, riscv.T6, 0)
+}
+
+// --- alu-loop: tight integer arithmetic, the IPC ceiling ---
+
+func aluIters(scale int) int { return 50_000 * scale }
+
+func buildALULoop(scale int) *riscv.Asm {
+	a := riscv.NewAsm()
+	a.LI(riscv.T0, int32(aluIters(scale)))
+	a.LI(riscv.A0, 0)
+	a.Label("loop")
+	a.ADDI(riscv.A0, riscv.A0, 3)
+	a.XORI(riscv.A0, riscv.A0, 0x55)
+	a.ADDI(riscv.T0, riscv.T0, -1)
+	a.BNE(riscv.T0, riscv.Zero, "loop")
+	powerOff(a)
+	return a
+}
+
+func refALULoop(scale int) uint64 {
+	v := uint64(0)
+	for i := 0; i < aluIters(scale); i++ {
+		v = (v + 3) ^ 0x55
+	}
+	return v
+}
+
+// --- sieve: Sieve of Eratosthenes, branch + byte-memory bound ---
+
+func sieveN(scale int) int { return 2048 * scale }
+
+func buildSieve(scale int) *riscv.Asm {
+	n := int32(sieveN(scale))
+	a := riscv.NewAsm()
+	a.LI64(riscv.S0, suiteBase)
+	a.LI(riscv.S1, n)
+	a.LI(riscv.T0, 2)
+	a.Label("outer")
+	a.MUL(riscv.T1, riscv.T0, riscv.T0)
+	a.BGE(riscv.T1, riscv.S1, "count")
+	a.ADD(riscv.T2, riscv.S0, riscv.T0)
+	a.LBU(riscv.T3, riscv.T2, 0)
+	a.BNE(riscv.T3, riscv.Zero, "nextp")
+	a.MV(riscv.T2, riscv.T1)
+	a.LI(riscv.T5, 1)
+	a.Label("inner")
+	a.ADD(riscv.T4, riscv.S0, riscv.T2)
+	a.SB(riscv.T5, riscv.T4, 0)
+	a.ADD(riscv.T2, riscv.T2, riscv.T0)
+	a.BLT(riscv.T2, riscv.S1, "inner")
+	a.Label("nextp")
+	a.ADDI(riscv.T0, riscv.T0, 1)
+	a.J("outer")
+	a.Label("count")
+	a.LI(riscv.A0, 0)
+	a.LI(riscv.T0, 2)
+	a.Label("cloop")
+	a.ADD(riscv.T2, riscv.S0, riscv.T0)
+	a.LBU(riscv.T3, riscv.T2, 0)
+	a.BNE(riscv.T3, riscv.Zero, "notprime")
+	a.ADDI(riscv.A0, riscv.A0, 1)
+	a.Label("notprime")
+	a.ADDI(riscv.T0, riscv.T0, 1)
+	a.BLT(riscv.T0, riscv.S1, "cloop")
+	powerOff(a)
+	return a
+}
+
+func refSieve(scale int) uint64 {
+	n := sieveN(scale)
+	composite := make([]bool, n)
+	count := uint64(0)
+	for p := 2; p < n; p++ {
+		if !composite[p] {
+			count++
+			for m := p * p; m < n; m += p {
+				composite[m] = true
+			}
+		}
+	}
+	return count
+}
+
+// --- matmul8: 8x8 64-bit integer matrix multiply, multiply-heavy ---
+
+func buildMatmul(scale int) *riscv.Asm {
+	// A[i][k] = i+k, B[k][j] = k*j+1 are generated in-program; the check
+	// value is the sum of all C entries. The multiply repeats `scale`
+	// times to lengthen the run.
+	a := riscv.NewAsm()
+	aBase, bBase, cBase := int64(0), int64(512), int64(1024)
+	a.LI64(riscv.S0, suiteBase+0x10000+uint64(aBase))
+	a.LI64(riscv.S1, suiteBase+0x10000+uint64(bBase))
+	a.LI64(riscv.S2, suiteBase+0x10000+uint64(cBase))
+	// init A and B
+	a.LI(riscv.T0, 0) // i
+	a.Label("initi")
+	a.LI(riscv.T1, 0) // j
+	a.Label("initj")
+	a.SLLI(riscv.T2, riscv.T0, 3)
+	a.ADD(riscv.T2, riscv.T2, riscv.T1) // idx = i*8+j
+	a.SLLI(riscv.T3, riscv.T2, 3)       // byte offset
+	a.ADD(riscv.T4, riscv.T0, riscv.T1) // A = i+j
+	a.ADD(riscv.T5, riscv.S0, riscv.T3)
+	a.SD(riscv.T4, riscv.T5, 0)
+	a.MUL(riscv.T4, riscv.T0, riscv.T1) // B = i*j+1
+	a.ADDI(riscv.T4, riscv.T4, 1)
+	a.ADD(riscv.T5, riscv.S1, riscv.T3)
+	a.SD(riscv.T4, riscv.T5, 0)
+	a.ADDI(riscv.T1, riscv.T1, 1)
+	a.LI(riscv.T2, 8)
+	a.BLT(riscv.T1, riscv.T2, "initj")
+	a.ADDI(riscv.T0, riscv.T0, 1)
+	a.BLT(riscv.T0, riscv.T2, "initi")
+
+	a.LI(riscv.S3, int32(scale)) // repetitions
+	a.Label("repeat")
+	a.LI(riscv.T0, 0) // i
+	a.Label("mi")
+	a.LI(riscv.T1, 0) // j
+	a.Label("mj")
+	a.LI(riscv.A1, 0) // acc
+	a.LI(riscv.T2, 0) // k
+	a.Label("mk")
+	// acc += A[i*8+k] * B[k*8+j]
+	a.SLLI(riscv.T3, riscv.T0, 3)
+	a.ADD(riscv.T3, riscv.T3, riscv.T2)
+	a.SLLI(riscv.T3, riscv.T3, 3)
+	a.ADD(riscv.T3, riscv.S0, riscv.T3)
+	a.LD(riscv.T3, riscv.T3, 0)
+	a.SLLI(riscv.T4, riscv.T2, 3)
+	a.ADD(riscv.T4, riscv.T4, riscv.T1)
+	a.SLLI(riscv.T4, riscv.T4, 3)
+	a.ADD(riscv.T4, riscv.S1, riscv.T4)
+	a.LD(riscv.T4, riscv.T4, 0)
+	a.MUL(riscv.T3, riscv.T3, riscv.T4)
+	a.ADD(riscv.A1, riscv.A1, riscv.T3)
+	a.ADDI(riscv.T2, riscv.T2, 1)
+	a.LI(riscv.T5, 8)
+	a.BLT(riscv.T2, riscv.T5, "mk")
+	// C[i*8+j] = acc
+	a.SLLI(riscv.T3, riscv.T0, 3)
+	a.ADD(riscv.T3, riscv.T3, riscv.T1)
+	a.SLLI(riscv.T3, riscv.T3, 3)
+	a.ADD(riscv.T3, riscv.S2, riscv.T3)
+	a.SD(riscv.A1, riscv.T3, 0)
+	a.ADDI(riscv.T1, riscv.T1, 1)
+	a.BLT(riscv.T1, riscv.T5, "mj")
+	a.ADDI(riscv.T0, riscv.T0, 1)
+	a.BLT(riscv.T0, riscv.T5, "mi")
+	a.ADDI(riscv.S3, riscv.S3, -1)
+	a.BNE(riscv.S3, riscv.Zero, "repeat")
+
+	// checksum C into A0
+	a.LI(riscv.A0, 0)
+	a.LI(riscv.T0, 0)
+	a.Label("sum")
+	a.SLLI(riscv.T1, riscv.T0, 3)
+	a.ADD(riscv.T1, riscv.S2, riscv.T1)
+	a.LD(riscv.T1, riscv.T1, 0)
+	a.ADD(riscv.A0, riscv.A0, riscv.T1)
+	a.ADDI(riscv.T0, riscv.T0, 1)
+	a.LI(riscv.T2, 64)
+	a.BLT(riscv.T0, riscv.T2, "sum")
+	powerOff(a)
+	return a
+}
+
+func refMatmul(scale int) uint64 {
+	var A, B, C [8][8]uint64
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			A[i][j] = uint64(i + j)
+			B[i][j] = uint64(i*j + 1)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			var acc uint64
+			for k := 0; k < 8; k++ {
+				acc += A[i][k] * B[k][j]
+			}
+			C[i][j] = acc
+		}
+	}
+	var sum uint64
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			sum += C[i][j]
+		}
+	}
+	return sum
+}
+
+// --- memstride: 64-byte-stride walk over a large array, DRAM-bound ---
+
+func strideIters(scale int) int { return 4096 * scale }
+
+func buildMemStride(scale int) *riscv.Asm {
+	a := riscv.NewAsm()
+	a.LI64(riscv.S0, suiteBase+0x80000)
+	a.LI(riscv.T0, int32(strideIters(scale)))
+	a.LI(riscv.A0, 0)
+	a.MV(riscv.T1, riscv.S0)
+	a.Label("loop")
+	a.LD(riscv.T2, riscv.T1, 0) // cold lines: mostly DRAM fills
+	a.ADD(riscv.A0, riscv.A0, riscv.T2)
+	a.ADDI(riscv.T1, riscv.T1, 64)
+	a.ADDI(riscv.T0, riscv.T0, -1)
+	a.BNE(riscv.T0, riscv.Zero, "loop")
+	powerOff(a)
+	return a
+}
+
+func refMemStride(scale int) uint64 {
+	return 0 // fresh memory reads zero
+}

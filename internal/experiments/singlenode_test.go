@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestSingleNodeSuite(t *testing.T) {
+	r, err := SingleNode(Scale{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	byName := map[string]SingleNodeRow{}
+	for _, row := range r.Rows {
+		byName[row.Kernel] = row
+		if row.IPC <= 0 || row.IPC > 1 {
+			t.Errorf("%s: IPC = %.3f outside (0,1]", row.Kernel, row.IPC)
+		}
+	}
+	if byName["sieve"].Check != 309 {
+		t.Errorf("sieve primes = %d, want 309 (primes below 2048)", byName["sieve"].Check)
+	}
+	// The DRAM-bound stride kernel must have markedly lower IPC than the
+	// ALU loop.
+	if byName["memstride"].IPC >= byName["alu-loop"].IPC/2 {
+		t.Errorf("memstride IPC (%.3f) not clearly below alu-loop (%.3f)",
+			byName["memstride"].IPC, byName["alu-loop"].IPC)
+	}
+}

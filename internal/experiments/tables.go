@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hostplatform"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("tableI", TableI)
+	register("tableII", TableII)
+	register("utilization", UtilizationTable)
+	register("cost", CostTable)
+}
+
+// TableI renders the server blade configuration (paper Table I), read
+// back from the live model defaults so the table cannot drift from the
+// implementation.
+func TableI(sc Scale) (Result, error) {
+	t := stats.NewTable("Blade Component", "RTL or Model")
+	t.AddRow("1 to 4 RISC-V Rocket Cores @ 3.2 GHz", "RV64IM core model (internal/riscv)")
+	t.AddRow("Optional RoCC Accel. (Table II)", "MMIO accelerator slots (internal/soc)")
+	t.AddRow("16 KiB L1I$, 16 KiB L1D$, 256 KiB L2$", "Timing model (internal/cache)")
+	t.AddRow("16 GiB DDR3", "Bank/row timing model (internal/dram)")
+	t.AddRow("200 Gbit/s Ethernet NIC", "Figure-3 NIC model (internal/nic)")
+	t.AddRow("Disk", "Block device model (internal/blockdev)")
+	return textResult{"Table I: Server blade configuration", t.String()}, nil
+}
+
+// TableII renders the example accelerators for custom blades (paper
+// Table II).
+func TableII(sc Scale) (Result, error) {
+	t := stats.NewTable("Accelerator", "Purpose")
+	t.AddRow("Page Fault Accel.", "Remote memory fast-path (Section VI; internal/pfa)")
+	t.AddRow("Hwacha", "Vector-accelerated compute (Section VIII; MMIO slot)")
+	t.AddRow("HLS-Generated", "Rapid custom scale-out accels. (Section VIII; MMIO slot)")
+	return textResult{"Table II: Example accelerators for custom blades", t.String()}, nil
+}
+
+// UtilizationTable reproduces the Section III-A5 FPGA LUT utilisation
+// numbers for standard and supernode packing.
+func UtilizationTable(sc Scale) (Result, error) {
+	t := stats.NewTable("Packing", "Blade LUT %", "Infra LUT %", "Total LUT %")
+	for _, n := range []int{1, 2, 4} {
+		u, err := hostplatform.UtilizationFor(n)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d node/FPGA", n)
+		if n == 4 {
+			label += " (supernode)"
+		}
+		t.AddRow(label, u.BladePct, u.InfraPct, u.TotalPct())
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("\nPaper reference: single 32.6% total (14.4% blade RTL); supernode ~57.7% blades, ~76% total.\n")
+	return textResult{"Section III-A5: FPGA utilization", b.String()}, nil
+}
+
+// CostTable reproduces the Section V-C cost arithmetic for the 1024-node
+// datacenter simulation.
+func CostTable(sc Scale) (Result, error) {
+	d := hostplatform.NewDeployment()
+	d.Add(hostplatform.F1_16XLarge, 32)
+	d.Add(hostplatform.M4_16XLarge, 5)
+	t := stats.NewTable("Quantity", "Value")
+	t.AddRow("f1.16xlarge instances", 32)
+	t.AddRow("m4.16xlarge instances", 5)
+	t.AddRow("FPGAs harnessed", d.FPGAs())
+	t.AddRow("FPGA retail value", fmt.Sprintf("$%.1fM", d.FPGAValueUSD()/1e6))
+	t.AddRow("Cost per simulation-hour (spot)", fmt.Sprintf("$%.0f", d.HourlyCost(true)))
+	t.AddRow("Cost per simulation-hour (on-demand)", fmt.Sprintf("$%.0f", d.HourlyCost(false)))
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("\nPaper reference: ~$100/hour spot, ~$440/hour on-demand, $12.8M of FPGAs.\n")
+	return textResult{"Section V-C: 1024-node simulation cost", b.String()}, nil
+}

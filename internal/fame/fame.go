@@ -1,0 +1,488 @@
+// Package fame implements the decoupled, token-coupled simulation runtime
+// at the heart of FireSim.
+//
+// FireSim applies the FAME-1 transform to server RTL: each target cycle,
+// the transformed design expects a token on every input interface and
+// produces a token on every output interface; if any input token is
+// missing, the model stalls until one arrives. This simple contract is what
+// lets heterogeneous simulation hosts — FPGAs, switch-model processes,
+// different machines — advance different target cycles at the same wall
+// time while still computing every target cycle deterministically.
+//
+// This package provides:
+//
+//   - the Endpoint contract (a batched form of the per-cycle token
+//     interface; see DESIGN.md, "Performance note"),
+//   - Link plumbing with per-link latency, where batch size equals the
+//     link latency exactly as in the paper ("we always set our batch size
+//     to the target link latency being modeled"),
+//   - a deterministic sequential Runner and a parallel Runner
+//     (goroutine-per-endpoint, channel-backed token transport) that
+//     produce bit-identical token streams, and
+//   - a FAME-5-style Multiplex wrapper that hosts several target models on
+//     one simulated physical pipeline.
+package fame
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/token"
+)
+
+// Endpoint is a decoupled simulation model: a FAME-1-transformed server
+// blade, a switch model, or any other component on the token network.
+//
+// TickBatch advances the model by n target cycles. in[p] holds the tokens
+// arriving on port p during those cycles and out[p] must be filled with the
+// tokens the model emits on port p. Both slices have one entry per port.
+//
+// Contract:
+//   - in batches are read-only; endpoints must not mutate or retain them
+//     past the call (the runtime recycles their storage),
+//   - out batches arrive Reset to n cycles; the endpoint Puts its valid
+//     tokens and must not retain them,
+//   - an unconnected input port receives a batch with no valid tokens; an
+//     unconnected output port receives a scratch batch that is discarded.
+//
+// A model must behave as if it were ticked one cycle at a time: emitting a
+// token at out-offset k may depend only on input tokens at offsets <= k on
+// ports whose data combinationally reaches the output, exactly like the
+// latency-insensitive FAME-1 hardware contract.
+type Endpoint interface {
+	// Name identifies the endpoint in diagnostics.
+	Name() string
+	// NumPorts reports how many token ports the endpoint exposes.
+	NumPorts() int
+	// TickBatch advances the endpoint by n target cycles.
+	TickBatch(n int, in, out []*token.Batch)
+}
+
+// link is one attachment point: (endpoint index, port).
+type portRef struct {
+	ep   int
+	port int
+}
+
+// channel carries token batches in one direction with a fixed latency.
+// latency tokens are always in flight: the queue is pre-seeded with
+// latency/step empty batches before the simulation starts.
+type channel struct {
+	latency clock.Cycles
+	queue   []*token.Batch // FIFO of batches in flight
+	free    []*token.Batch // recycled batch storage
+}
+
+func (c *channel) take(n int) *token.Batch {
+	if k := len(c.free); k > 0 {
+		b := c.free[k-1]
+		c.free = c.free[:k-1]
+		b.Reset(n)
+		return b
+	}
+	return token.NewBatch(n)
+}
+
+func (c *channel) push(b *token.Batch) { c.queue = append(c.queue, b) }
+
+func (c *channel) pop() *token.Batch {
+	b := c.queue[0]
+	copy(c.queue, c.queue[1:])
+	c.queue = c.queue[:len(c.queue)-1]
+	return b
+}
+
+func (c *channel) recycle(b *token.Batch) { c.free = append(c.free, b) }
+
+// Link describes a bidirectional connection between two endpoint ports
+// with a given latency in target cycles. N tokens are always in flight in
+// each direction, so data emitted at cycle M arrives at cycle M+N.
+type Link struct {
+	a, b    portRef
+	latency clock.Cycles
+}
+
+// Runner owns a topology of endpoints and links and advances target time.
+// Endpoints and links must all be registered before the first Run call.
+type Runner struct {
+	endpoints []Endpoint
+	epIndex   map[Endpoint]int
+	links     []Link
+	// inCh[e][p] / outCh[e][p] are the channels attached to each port;
+	// nil when the port is unconnected.
+	inCh, outCh [][]*channel
+	step        clock.Cycles
+	cycle       clock.Cycles
+	built       bool
+
+	// emptyIn is the shared read-only batch handed to unconnected input
+	// ports; scratchOut[e][p] is a per-port discard batch for unconnected
+	// output ports (per-port so that one endpoint with several unconnected
+	// outputs never sees aliased batches).
+	emptyIn    *token.Batch
+	scratchOut [][]*token.Batch
+
+	// stepOverride, when non-zero, forces a smaller batch step than the
+	// latency GCD (it must divide every link latency). Target behaviour is
+	// identical — only host performance changes — which makes it the
+	// ablation knob for the paper's batching argument ("tokens can be
+	// batched up to the target's link latency, without any compromise in
+	// cycle accuracy").
+	stepOverride clock.Cycles
+}
+
+// NewRunner returns an empty topology.
+func NewRunner() *Runner {
+	return &Runner{epIndex: make(map[Endpoint]int)}
+}
+
+// Add registers an endpoint and returns it for chaining-style use.
+func (r *Runner) Add(e Endpoint) Endpoint {
+	if r.built {
+		panic("fame: Add after Run")
+	}
+	if _, dup := r.epIndex[e]; dup {
+		panic(fmt.Sprintf("fame: endpoint %q added twice", e.Name()))
+	}
+	r.epIndex[e] = len(r.endpoints)
+	r.endpoints = append(r.endpoints, e)
+	return e
+}
+
+// Connect attaches port aPort of a to port bPort of b with the given link
+// latency (in target cycles) in each direction. Both endpoints must already
+// be registered with Add.
+func (r *Runner) Connect(a Endpoint, aPort int, b Endpoint, bPort int, latency clock.Cycles) error {
+	if r.built {
+		return errors.New("fame: Connect after Run")
+	}
+	ai, ok := r.epIndex[a]
+	if !ok {
+		return fmt.Errorf("fame: endpoint %q not registered", a.Name())
+	}
+	bi, ok := r.epIndex[b]
+	if !ok {
+		return fmt.Errorf("fame: endpoint %q not registered", b.Name())
+	}
+	if latency <= 0 {
+		return fmt.Errorf("fame: link latency must be positive, got %d", latency)
+	}
+	if aPort < 0 || aPort >= a.NumPorts() {
+		return fmt.Errorf("fame: port %d out of range for %q", aPort, a.Name())
+	}
+	if bPort < 0 || bPort >= b.NumPorts() {
+		return fmt.Errorf("fame: port %d out of range for %q", bPort, b.Name())
+	}
+	r.links = append(r.links, Link{a: portRef{ai, aPort}, b: portRef{bi, bPort}, latency: latency})
+	return nil
+}
+
+// Step returns the batch step size in cycles chosen for this topology: the
+// greatest common divisor of all link latencies, so that every link's
+// in-flight token count is a whole number of batches. Calling Step
+// finalises the topology (no further Add/Connect calls are allowed); it
+// returns 0 if the topology is not yet valid.
+func (r *Runner) Step() clock.Cycles {
+	if err := r.build(); err != nil {
+		return 0
+	}
+	return r.step
+}
+
+// Cycle returns the current target cycle (the number of cycles fully
+// simulated so far).
+func (r *Runner) Cycle() clock.Cycles { return r.cycle }
+
+// SetStepOverride forces exchanging batches of s tokens instead of one
+// link latency's worth. s must divide every link latency; it must be set
+// before the first Run. Use only for host-performance ablation — target
+// behaviour is unchanged by construction.
+func (r *Runner) SetStepOverride(s clock.Cycles) error {
+	if r.built {
+		return errors.New("fame: SetStepOverride after Run")
+	}
+	if s <= 0 {
+		return fmt.Errorf("fame: step override must be positive, got %d", s)
+	}
+	r.stepOverride = s
+	return nil
+}
+
+func gcd(a, b clock.Cycles) clock.Cycles {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func (r *Runner) build() error {
+	if r.built {
+		return nil
+	}
+	if len(r.endpoints) == 0 {
+		return errors.New("fame: no endpoints registered")
+	}
+	if len(r.links) == 0 {
+		return errors.New("fame: no links registered")
+	}
+	r.step = r.links[0].latency
+	for _, l := range r.links[1:] {
+		r.step = gcd(r.step, l.latency)
+	}
+	if r.stepOverride > 0 {
+		if r.step%r.stepOverride != 0 {
+			return fmt.Errorf("fame: step override %d does not divide the latency gcd %d", r.stepOverride, r.step)
+		}
+		r.step = r.stepOverride
+	}
+
+	r.inCh = make([][]*channel, len(r.endpoints))
+	r.outCh = make([][]*channel, len(r.endpoints))
+	for i, e := range r.endpoints {
+		r.inCh[i] = make([]*channel, e.NumPorts())
+		r.outCh[i] = make([]*channel, e.NumPorts())
+	}
+	attach := func(from, to portRef, lat clock.Cycles) error {
+		if r.outCh[from.ep][from.port] != nil {
+			return fmt.Errorf("fame: output port %d of %q connected twice", from.port, r.endpoints[from.ep].Name())
+		}
+		if r.inCh[to.ep][to.port] != nil {
+			return fmt.Errorf("fame: input port %d of %q connected twice", to.port, r.endpoints[to.ep].Name())
+		}
+		ch := &channel{latency: lat}
+		// Pre-seed the link with latency worth of empty tokens, exactly as
+		// in the paper's walk-through: "each input token queue initialized
+		// with l tokens".
+		for seeded := clock.Cycles(0); seeded < lat; seeded += r.step {
+			ch.push(token.NewBatch(int(r.step)))
+		}
+		r.outCh[from.ep][from.port] = ch
+		r.inCh[to.ep][to.port] = ch
+		return nil
+	}
+	for _, l := range r.links {
+		if err := attach(l.a, l.b, l.latency); err != nil {
+			return err
+		}
+		if err := attach(l.b, l.a, l.latency); err != nil {
+			return err
+		}
+	}
+	r.emptyIn = token.NewBatch(int(r.step))
+	r.scratchOut = make([][]*token.Batch, len(r.endpoints))
+	for i, e := range r.endpoints {
+		r.scratchOut[i] = make([]*token.Batch, e.NumPorts())
+		for p := 0; p < e.NumPorts(); p++ {
+			if r.outCh[i][p] == nil {
+				r.scratchOut[i][p] = token.NewBatch(int(r.step))
+			}
+		}
+	}
+	r.built = true
+	return nil
+}
+
+// Run advances the simulation by the given number of target cycles using
+// the deterministic sequential scheduler. cycles must be a positive
+// multiple of Step (after the first Run, Step is fixed).
+func (r *Runner) Run(cycles clock.Cycles) error {
+	if err := r.build(); err != nil {
+		return err
+	}
+	if cycles <= 0 || cycles%r.step != 0 {
+		return fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
+	}
+	rounds := cycles / r.step
+	n := int(r.step)
+
+	// Per-endpoint scratch slices, reused across rounds.
+	ins := make([][]*token.Batch, len(r.endpoints))
+	outs := make([][]*token.Batch, len(r.endpoints))
+	for i, e := range r.endpoints {
+		ins[i] = make([]*token.Batch, e.NumPorts())
+		outs[i] = make([]*token.Batch, e.NumPorts())
+	}
+
+	for round := clock.Cycles(0); round < rounds; round++ {
+		for i, e := range r.endpoints {
+			in := ins[i]
+			out := outs[i]
+			for p := range in {
+				if ch := r.inCh[i][p]; ch != nil {
+					in[p] = ch.pop()
+				} else {
+					in[p] = r.emptyIn
+				}
+				if ch := r.outCh[i][p]; ch != nil {
+					out[p] = ch.take(n)
+				} else {
+					sb := r.scratchOut[i][p]
+					sb.Reset(n)
+					out[p] = sb
+				}
+			}
+			e.TickBatch(n, in, out)
+			for p := range in {
+				if ch := r.outCh[i][p]; ch != nil {
+					ch.push(out[p])
+				}
+				if ch := r.inCh[i][p]; ch != nil {
+					ch.recycle(in[p])
+				}
+			}
+		}
+		r.cycle += r.step
+	}
+	return nil
+}
+
+// RunParallel advances the simulation by the given number of target cycles
+// with one goroutine per endpoint, communicating through buffered channels.
+// This mirrors the paper's distributed execution: hosts are decoupled and
+// may be simulating different target cycles at the same moment, yet the
+// token protocol guarantees results identical to the sequential scheduler.
+func (r *Runner) RunParallel(cycles clock.Cycles) error {
+	if err := r.build(); err != nil {
+		return err
+	}
+	if cycles <= 0 || cycles%r.step != 0 {
+		return fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
+	}
+	rounds := int(cycles / r.step)
+	n := int(r.step)
+
+	// Build one Go channel per direction per link, seeded from the
+	// persistent channel queues so that Run and RunParallel can be mixed.
+	type pipe struct {
+		data chan *token.Batch
+		free chan *token.Batch
+	}
+	pipes := make(map[*channel]*pipe, len(r.links)*2)
+	for i := range r.endpoints {
+		for _, ch := range r.outCh[i] {
+			if ch == nil {
+				continue
+			}
+			depth := int(ch.latency/r.step) + 1
+			p := &pipe{
+				data: make(chan *token.Batch, depth),
+				free: make(chan *token.Batch, depth+1),
+			}
+			for _, b := range ch.queue {
+				p.data <- b
+			}
+			ch.queue = ch.queue[:0]
+			for _, b := range ch.free {
+				p.free <- b
+			}
+			ch.free = ch.free[:0]
+			pipes[ch] = p
+		}
+	}
+	takeFree := func(p *pipe) *token.Batch {
+		select {
+		case b := <-p.free:
+			b.Reset(n)
+			return b
+		default:
+			return token.NewBatch(n)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i, e := range r.endpoints {
+		wg.Add(1)
+		go func(i int, e Endpoint) {
+			defer wg.Done()
+			np := e.NumPorts()
+			in := make([]*token.Batch, np)
+			out := make([]*token.Batch, np)
+			localEmpty := token.NewBatch(n)
+			localScratch := make([]*token.Batch, np)
+			for p := 0; p < np; p++ {
+				if r.outCh[i][p] == nil {
+					localScratch[p] = token.NewBatch(n)
+				}
+			}
+			for round := 0; round < rounds; round++ {
+				for p := 0; p < np; p++ {
+					if ch := r.inCh[i][p]; ch != nil {
+						in[p] = <-pipes[ch].data
+					} else {
+						in[p] = localEmpty
+					}
+					if ch := r.outCh[i][p]; ch != nil {
+						out[p] = takeFree(pipes[ch])
+					} else {
+						localScratch[p].Reset(n)
+						out[p] = localScratch[p]
+					}
+				}
+				e.TickBatch(n, in, out)
+				for p := 0; p < np; p++ {
+					if ch := r.outCh[i][p]; ch != nil {
+						pipes[ch].data <- out[p]
+					}
+					if ch := r.inCh[i][p]; ch != nil {
+						select {
+						case pipes[ch].free <- in[p]:
+						default:
+						}
+					}
+				}
+			}
+		}(i, e)
+	}
+	wg.Wait()
+
+	// Drain channel state back into the persistent queues so a subsequent
+	// Run (sequential) continues seamlessly.
+	for i := range r.endpoints {
+		for _, ch := range r.outCh[i] {
+			if ch == nil {
+				continue
+			}
+			p := pipes[ch]
+			for {
+				select {
+				case b := <-p.data:
+					ch.push(b)
+					continue
+				default:
+				}
+				break
+			}
+			for {
+				select {
+				case b := <-p.free:
+					ch.recycle(b)
+					continue
+				default:
+				}
+				break
+			}
+		}
+	}
+	r.cycle += clock.Cycles(rounds) * r.step
+	return nil
+}
+
+// Measure runs the simulation for the given target cycles (sequentially or
+// in parallel) and returns the achieved simulation rate, which is how the
+// paper reports performance in Figures 8 and 9.
+func (r *Runner) Measure(cycles clock.Cycles, freq clock.Hz, parallel bool) (clock.SimRate, error) {
+	start := time.Now()
+	var err error
+	if parallel {
+		err = r.RunParallel(cycles)
+	} else {
+		err = r.Run(cycles)
+	}
+	if err != nil {
+		return clock.SimRate{}, err
+	}
+	return clock.SimRate{TargetCycles: cycles, Wall: time.Since(start), TargetFreq: freq}, nil
+}

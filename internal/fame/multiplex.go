@@ -1,0 +1,69 @@
+package fame
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// Multiplex is a FAME-5-style host multithreading wrapper: it maps several
+// target models onto one simulated physical pipeline. The paper describes
+// this as a way to "further increase the number of simulated nodes ... at
+// the cost of simulation performance and reduced physical memory per
+// simulated core".
+//
+// Multiplex exposes the concatenation of its children's ports. Each
+// TickBatch, it advances the children one after another on the shared host
+// resource; functionally the composite is indistinguishable from the
+// children running side by side (verified by tests), while the host cost of
+// a tick grows with the number of children — which is precisely the FAME-5
+// performance trade-off.
+type Multiplex struct {
+	name     string
+	children []Endpoint
+	// portBase[i] is the index of child i's first port within the
+	// composite port space.
+	portBase []int
+	numPorts int
+}
+
+// NewMultiplex wraps the given endpoints into one host pipeline.
+func NewMultiplex(name string, children ...Endpoint) *Multiplex {
+	if len(children) == 0 {
+		panic("fame: Multiplex needs at least one child")
+	}
+	m := &Multiplex{name: name, children: children}
+	for _, c := range children {
+		m.portBase = append(m.portBase, m.numPorts)
+		m.numPorts += c.NumPorts()
+	}
+	return m
+}
+
+// Name implements Endpoint.
+func (m *Multiplex) Name() string { return m.name }
+
+// NumPorts implements Endpoint; it is the sum of all child port counts.
+func (m *Multiplex) NumPorts() int { return m.numPorts }
+
+// PortOf translates (child index, child port) to a composite port index,
+// for wiring the multiplexed node into a Runner.
+func (m *Multiplex) PortOf(child, port int) int {
+	if child < 0 || child >= len(m.children) {
+		panic(fmt.Sprintf("fame: multiplex child %d out of range", child))
+	}
+	if port < 0 || port >= m.children[child].NumPorts() {
+		panic(fmt.Sprintf("fame: port %d out of range for child %d", port, child))
+	}
+	return m.portBase[child] + port
+}
+
+// TickBatch implements Endpoint by time-multiplexing the children over the
+// shared pipeline.
+func (m *Multiplex) TickBatch(n int, in, out []*token.Batch) {
+	for i, c := range m.children {
+		base := m.portBase[i]
+		np := c.NumPorts()
+		c.TickBatch(n, in[base:base+np], out[base:base+np])
+	}
+}

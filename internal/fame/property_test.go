@@ -1,0 +1,125 @@
+package fame
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+	"repro/internal/token"
+)
+
+// TestRandomTopologyEquivalence is the load-bearing property of the whole
+// platform: for arbitrary star topologies with random link latencies and
+// random traffic programs, the sequential and parallel runners produce
+// bit-identical token streams.
+func TestRandomTopologyEquivalence(t *testing.T) {
+	type spec struct {
+		// nSources in [1,6], latencies in [1,64], each source emits a few
+		// packets at pseudo-random cycles.
+		Seed uint64
+	}
+	check := func(s spec) bool {
+		build := func() (*Runner, []*Sink) {
+			rng := s.Seed
+			next := func(n uint64) uint64 {
+				rng ^= rng >> 12
+				rng ^= rng << 25
+				rng ^= rng >> 27
+				return (rng * 2685821657736338717) % n
+			}
+			r := NewRunner()
+			nSrc := int(next(6)) + 1
+			var sinks []*Sink
+			for i := 0; i < nSrc; i++ {
+				src := NewSource(fmt.Sprintf("src%d", i))
+				sink := NewSink(fmt.Sprintf("sink%d", i))
+				r.Add(src)
+				r.Add(sink)
+				lat := clock.Cycles(next(64) + 1)
+				if err := r.Connect(src, 0, sink, 0, lat); err != nil {
+					t.Fatal(err)
+				}
+				nPkts := int(next(4)) + 1
+				for p := 0; p < nPkts; p++ {
+					at := int64(next(500))
+					nFlits := int(next(5)) + 1
+					flits := make([]uint64, nFlits)
+					for f := range flits {
+						flits[f] = next(1 << 62)
+					}
+					src.EmitPacketAt(at, flits)
+				}
+				sinks = append(sinks, sink)
+			}
+			return r, sinks
+		}
+
+		rSeq, seqSinks := build()
+		if err := rSeq.Run(roundUp(2048, rSeq.Step())); err != nil {
+			t.Fatal(err)
+		}
+		rPar, parSinks := build()
+		if err := rPar.RunParallel(roundUp(2048, rPar.Step())); err != nil {
+			t.Fatal(err)
+		}
+		for i := range seqSinks {
+			if !reflect.DeepEqual(seqSinks[i].Received, parSinks[i].Received) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func roundUp(c, step clock.Cycles) clock.Cycles {
+	if rem := c % step; rem != 0 {
+		return c + step - rem
+	}
+	return c
+}
+
+// TestSourceOverlappingPackets documents EmitPacketAt semantics: later
+// programs override earlier cycles, so test programs must not overlap.
+func TestSourceOverlappingPackets(t *testing.T) {
+	src := NewSource("s")
+	src.EmitPacketAt(0, []uint64{1, 2})
+	src.EmitPacketAt(1, []uint64{9}) // overwrites cycle 1
+	in := []*token.Batch{token.NewBatch(4)}
+	out := []*token.Batch{token.NewBatch(4)}
+	src.TickBatch(4, in, out)
+	if got := out[0].At(1).Data; got != 9 {
+		t.Errorf("cycle 1 data = %d, want 9 (last program wins)", got)
+	}
+}
+
+// TestLongRun exercises batch-queue recycling across many rounds.
+func TestLongRun(t *testing.T) {
+	r := NewRunner()
+	src := NewSource("src")
+	sink := NewSink("sink")
+	r.Add(src)
+	r.Add(sink)
+	if err := r.Connect(src, 0, sink, 0, 32); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		src.EmitAt(i*100, token.Token{Data: uint64(i), Valid: true, Last: true})
+	}
+	if err := r.Run(32 * 4000); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Received) != 1000 {
+		t.Fatalf("received %d tokens, want 1000", len(sink.Received))
+	}
+	for i, arr := range sink.Received {
+		if arr.Cycle != int64(i*100+32) {
+			t.Fatalf("token %d arrived at %d, want %d", i, arr.Cycle, i*100+32)
+		}
+	}
+}

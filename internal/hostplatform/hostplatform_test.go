@@ -1,0 +1,135 @@
+package hostplatform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestUtilizationMatchesPaper(t *testing.T) {
+	// Section III-A5: single-node design uses 32.6% of LUTs (14.4 points
+	// of custom blade RTL); the 4-node supernode raises blade logic to
+	// ~57.7% and total to ~76%.
+	single, err := UtilizationFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single.TotalPct()-32.6) > 0.1 {
+		t.Errorf("single total = %.1f%%, want 32.6%%", single.TotalPct())
+	}
+	if math.Abs(single.BladePct-14.4) > 0.1 {
+		t.Errorf("single blade = %.1f%%, want 14.4%%", single.BladePct)
+	}
+	super, err := UtilizationFor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(super.BladePct-57.7) > 0.2 {
+		t.Errorf("supernode blades = %.1f%%, want ~57.7%%", super.BladePct)
+	}
+	if math.Abs(super.TotalPct()-76) > 0.5 {
+		t.Errorf("supernode total = %.1f%%, want ~76%%", super.TotalPct())
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	if _, err := UtilizationFor(0); err == nil {
+		t.Error("0 nodes per FPGA accepted")
+	}
+	if _, err := UtilizationFor(5); err == nil {
+		t.Error("5 nodes per FPGA accepted (only 4 DRAM channels)")
+	}
+}
+
+func TestThousandNodeCostArithmetic(t *testing.T) {
+	// Section V-C: 32x f1.16xlarge + 5x m4.16xlarge costs ~$100/hour on
+	// spot, ~$440/hour on demand, and harnesses ~$12.8M of FPGAs.
+	d := NewDeployment()
+	d.Add(F1_16XLarge, 32)
+	d.Add(M4_16XLarge, 5)
+
+	if got := d.FPGAs(); got != 256 {
+		t.Errorf("FPGAs = %d, want 256", got)
+	}
+	if got := d.FPGAValueUSD(); got != 12_800_000 {
+		t.Errorf("FPGA value = $%.0f, want $12.8M", got)
+	}
+	spot := d.HourlyCost(true)
+	if spot < 90 || spot > 110 {
+		t.Errorf("spot cost = $%.2f/h, want ~$100", spot)
+	}
+	onDemand := d.HourlyCost(false)
+	if onDemand < 430 || onDemand > 450 {
+		t.Errorf("on-demand cost = $%.2f/h, want ~$440", onDemand)
+	}
+	if d.Instances() != 37 {
+		t.Errorf("Instances = %d", d.Instances())
+	}
+}
+
+func TestRateModelHeadline(t *testing.T) {
+	// 1024 nodes, 2us batch (6400 cycles), multi-instance: ~3.4 MHz and
+	// under 1000x slowdown from 3.2 GHz.
+	m := DefaultRateModel()
+	rate := m.Project(1024, 6400, true)
+	mhz := float64(rate) / 1e6
+	if mhz < 3.0 || mhz > 3.8 {
+		t.Errorf("projected rate = %.2f MHz, want ~3.4", mhz)
+	}
+	slowdown := 3.2e9 / float64(rate)
+	if slowdown >= 1000 {
+		t.Errorf("slowdown = %.0fx, want < 1000x", slowdown)
+	}
+}
+
+func TestRateModelShape(t *testing.T) {
+	m := DefaultRateModel()
+	// Rate must be non-increasing with node count (flat only while the
+	// FPGA-clock ceiling binds at small scale) and strictly lower at the
+	// far end.
+	prev := clock.Hz(math.Inf(1))
+	first := m.Project(4, 6400, false)
+	for _, nodes := range []int{4, 8, 16, 64, 256, 1024} {
+		r := m.Project(nodes, 6400, nodes > 8)
+		if r > prev {
+			t.Errorf("rate rose with scale: %d nodes -> %v (prev %v)", nodes, r, prev)
+		}
+		prev = r
+	}
+	if prev >= first {
+		t.Errorf("1024-node rate %v not below small-scale rate %v", prev, first)
+	}
+	// ...and rise monotonically with link latency (batch size), up to the
+	// FPGA clock ceiling.
+	prev = 0
+	for _, lat := range []clock.Cycles{320, 1600, 6400, 32000, 320000} {
+		r := m.Project(64, lat, true)
+		if r < prev {
+			t.Errorf("rate fell with larger batch: %d -> %v (prev %v)", lat, r, prev)
+		}
+		prev = r
+	}
+	// The ceiling binds for very large batches on small clusters.
+	if r := m.Project(2, 10_000_000, false); r != m.FPGAClock {
+		t.Errorf("rate %v not capped at FPGA clock %v", r, m.FPGAClock)
+	}
+}
+
+func TestCrossInstancePenalty(t *testing.T) {
+	m := DefaultRateModel()
+	same := m.Project(64, 6400, false)
+	cross := m.Project(64, 6400, true)
+	if cross >= same {
+		t.Errorf("multi-instance rate %v not below single-instance %v", cross, same)
+	}
+}
+
+func TestInstanceCatalog(t *testing.T) {
+	if F1_16XLarge.FPGAs != 8 || F1_2XLarge.FPGAs != 1 || M4_16XLarge.FPGAs != 0 {
+		t.Error("FPGA counts wrong")
+	}
+	if F1_16XLarge.OnDemandHourly != 13.20 {
+		t.Errorf("f1.16xlarge on-demand = %v", F1_16XLarge.OnDemandHourly)
+	}
+}

@@ -1,0 +1,352 @@
+package manager
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/ethernet"
+	"repro/internal/fame"
+	"repro/internal/hostplatform"
+	"repro/internal/softstack"
+	"repro/internal/switchmodel"
+)
+
+// DeployConfig controls how a topology is instantiated. Network latency,
+// bandwidth, topology and blade selection are all runtime-configurable —
+// only blade RTL changes would require a rebuild, exactly as in the paper.
+type DeployConfig struct {
+	// LinkLatency is the latency of every link, in target cycles
+	// (default: 2 us at 3.2 GHz = 6400 cycles, the paper's standard).
+	LinkLatency clock.Cycles
+	// SwitchingLatency is the minimum port-to-port switch latency
+	// (default 10 cycles, as in the paper's validation).
+	SwitchingLatency clock.Cycles
+	// Supernode packs four simulated blades per FPGA (Section III-A5).
+	Supernode bool
+	// Seed drives all node-level deterministic randomness.
+	Seed uint64
+	// DisableStaticARP leaves ARP tables empty so first-contact latency
+	// includes an ARP round trip (used by the ping benchmark).
+	DisableStaticARP bool
+	// Freq is the target clock (default 3.2 GHz).
+	Freq clock.Hz
+	// Costs overrides the modeled kernel constants (zero = defaults).
+	Costs softstack.Costs
+}
+
+// Cluster is a deployed simulation: the token-level runner plus handles to
+// every simulated component and the host-platform plan.
+type Cluster struct {
+	// Runner advances target time.
+	Runner *fame.Runner
+	// Servers lists the simulated nodes in assignment order.
+	Servers []*softstack.Node
+	// Switches lists every switch model, root first.
+	Switches []*switchmodel.Switch
+	// Deployment is the EC2 bill of materials for this simulation.
+	Deployment *hostplatform.Deployment
+	// Images are the FPGA images the build flow produced.
+	Images []Image
+	// LinkLatency is the deployed link latency in cycles.
+	LinkLatency clock.Cycles
+
+	byName map[string]*softstack.Node
+}
+
+// NodeByName returns the named server, or nil.
+func (c *Cluster) NodeByName(name string) *softstack.Node { return c.byName[name] }
+
+// RunFor advances the whole simulation by the given target cycles
+// (rounded down to a whole number of batches).
+func (c *Cluster) RunFor(cycles clock.Cycles) error {
+	cycles -= cycles % c.Runner.Step()
+	if cycles <= 0 {
+		return nil
+	}
+	return c.Runner.Run(cycles)
+}
+
+// RunUntil advances in linkLatency steps until pred returns true or
+// maxCycles elapse, reporting whether pred was satisfied.
+func (c *Cluster) RunUntil(pred func() bool, maxCycles clock.Cycles) (bool, error) {
+	step := c.Runner.Step() * 4
+	for c.Runner.Cycle() < maxCycles {
+		if pred() {
+			return true, nil
+		}
+		if err := c.Runner.Run(step); err != nil {
+			return false, err
+		}
+	}
+	return pred(), nil
+}
+
+// Deploy validates, builds, maps and instantiates the topology.
+func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
+	if err := Validate(root); err != nil {
+		return nil, err
+	}
+	if cfg.LinkLatency == 0 {
+		cfg.LinkLatency = 6400 // 2 us at 3.2 GHz
+	}
+	if cfg.SwitchingLatency == 0 {
+		cfg.SwitchingLatency = switchmodel.DefaultSwitchingLatency
+	}
+	if cfg.Freq == 0 {
+		cfg.Freq = clock.DefaultTargetClock
+	}
+
+	farm := NewBuildFarm()
+	images, err := farm.BuildAll(root, cfg.Supernode)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		Images:      images,
+		LinkLatency: cfg.LinkLatency,
+		byName:      make(map[string]*softstack.Node),
+		Runner:      fame.NewRunner(),
+	}
+
+	// Pass 1: assign identities to every server, depth-first, so MAC/IP
+	// assignment is stable under topology edits elsewhere in the tree.
+	type serverInst struct {
+		spec *ServerNode
+		node *softstack.Node
+	}
+	servers := make(map[*ServerNode]*serverInst)
+	var macs []ethernet.MAC
+	arp := make(map[ethernet.IP]ethernet.MAC)
+	idx := 0
+	var assign func(t TopoNode)
+	assign = func(t TopoNode) {
+		switch v := t.(type) {
+		case *SwitchNode:
+			for _, d := range v.Downlinks {
+				assign(d)
+			}
+		case *ServerNode:
+			mac := ethernet.MAC(0x0200_0000_0000) + ethernet.MAC(idx+1)
+			ip := ethernet.IP(0x0a00_0000) + ethernet.IP(idx+1)
+			name := v.Name
+			if name == "" {
+				name = fmt.Sprintf("server%d", idx)
+				v.Name = name
+			}
+			cores, _ := v.Type.Cores()
+			node := softstack.NewNode(softstack.Config{
+				Name:  name,
+				MAC:   mac,
+				IP:    ip,
+				Cores: cores,
+				Freq:  cfg.Freq,
+				Costs: cfg.Costs,
+				Seed:  cfg.Seed + uint64(idx)*0x9e37,
+			})
+			servers[v] = &serverInst{spec: v, node: node}
+			macs = append(macs, mac)
+			arp[ip] = mac
+			idx++
+		}
+	}
+	assign(root)
+
+	if !cfg.DisableStaticARP {
+		for _, si := range servers {
+			for ip, mac := range arp {
+				si.node.LearnARP(ip, mac)
+			}
+		}
+	}
+
+	// Pass 2: create switches and wire everything. Each switch has one
+	// port per downlink plus an uplink port (except the root).
+	type swInst struct {
+		spec   *SwitchNode
+		sw     *switchmodel.Switch
+		uplink int // uplink port index, or -1 for root
+	}
+	var switches []*swInst
+	subtreeMACs := make(map[TopoNode][]ethernet.MAC)
+
+	var collectMACs func(t TopoNode) []ethernet.MAC
+	collectMACs = func(t TopoNode) []ethernet.MAC {
+		if m, ok := subtreeMACs[t]; ok {
+			return m
+		}
+		var out []ethernet.MAC
+		switch v := t.(type) {
+		case *ServerNode:
+			out = []ethernet.MAC{servers[v].node.MAC()}
+		case *SwitchNode:
+			for _, d := range v.Downlinks {
+				out = append(out, collectMACs(d)...)
+			}
+		}
+		subtreeMACs[t] = out
+		return out
+	}
+	collectMACs(root)
+
+	swIdx := 0
+	var build func(s *SwitchNode, isRoot bool) (*swInst, error)
+	build = func(s *SwitchNode, isRoot bool) (*swInst, error) {
+		ports := len(s.Downlinks)
+		uplink := -1
+		if !isRoot {
+			uplink = ports
+			ports++
+		}
+		if s.Name == "" {
+			s.Name = fmt.Sprintf("switch%d", swIdx)
+		}
+		swIdx++
+		sw := switchmodel.New(switchmodel.Config{
+			Name:             s.Name,
+			Ports:            ports,
+			SwitchingLatency: cfg.SwitchingLatency,
+		})
+		inst := &swInst{spec: s, sw: sw, uplink: uplink}
+		switches = append(switches, inst)
+		c.Runner.Add(sw)
+
+		// Static MAC table: every server below downlink i maps to port i;
+		// everything else exits the uplink.
+		below := make(map[ethernet.MAC]bool)
+		for i, d := range s.Downlinks {
+			for _, m := range subtreeMACs[d] {
+				sw.MACTable().Set(m, i)
+				below[m] = true
+			}
+		}
+		if uplink >= 0 {
+			for _, m := range macs {
+				if !below[m] {
+					sw.MACTable().Set(m, uplink)
+				}
+			}
+		}
+
+		// Wire downlinks. In supernode mode, groups of up to four sibling
+		// blades are FAME-5-multiplexed onto one host pipeline (one FPGA),
+		// exactly the packing of Section III-A5; the composite is
+		// functionally indistinguishable from the blades running
+		// standalone (asserted by tests).
+		type pendingServer struct {
+			node *softstack.Node
+			port int
+		}
+		var group []pendingServer
+		flushGroup := func() error {
+			if len(group) == 0 {
+				return nil
+			}
+			if !cfg.Supernode || len(group) == 1 {
+				for _, p := range group {
+					c.Runner.Add(p.node)
+					if err := c.Runner.Connect(p.node, 0, sw, p.port, cfg.LinkLatency); err != nil {
+						return err
+					}
+				}
+			} else {
+				eps := make([]fame.Endpoint, len(group))
+				for i, p := range group {
+					eps[i] = p.node
+				}
+				m := fame.NewMultiplex(fmt.Sprintf("%s-fpga%d", s.Name, group[0].port/4), eps...)
+				c.Runner.Add(m)
+				for i, p := range group {
+					if err := c.Runner.Connect(m, m.PortOf(i, 0), sw, p.port, cfg.LinkLatency); err != nil {
+						return err
+					}
+				}
+			}
+			group = group[:0]
+			return nil
+		}
+		for i, d := range s.Downlinks {
+			switch v := d.(type) {
+			case *ServerNode:
+				node := servers[v].node
+				group = append(group, pendingServer{node: node, port: i})
+				if len(group) == 4 {
+					if err := flushGroup(); err != nil {
+						return nil, err
+					}
+				}
+				c.Servers = append(c.Servers, node)
+				c.byName[node.Name()] = node
+			case *SwitchNode:
+				if err := flushGroup(); err != nil {
+					return nil, err
+				}
+				child, err := build(v, false)
+				if err != nil {
+					return nil, err
+				}
+				if err := c.Runner.Connect(child.sw, child.uplink, sw, i, cfg.LinkLatency); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := flushGroup(); err != nil {
+			return nil, err
+		}
+		return inst, nil
+	}
+	if _, err := build(root, true); err != nil {
+		return nil, err
+	}
+	for _, si := range switches {
+		c.Switches = append(c.Switches, si.sw)
+	}
+
+	c.Deployment = planDeployment(root, cfg.Supernode)
+	return c, nil
+}
+
+// planDeployment maps the topology onto EC2 instances: ToR switches and
+// their servers go to f1.16xlarge instances (8 FPGAs each, 1 or 4 nodes
+// per FPGA), while aggregation and root switch models get m4.16xlarge
+// instances — the mapping of Figure 2 and Section V-C.
+func planDeployment(root *SwitchNode, supernode bool) *hostplatform.Deployment {
+	d := hostplatform.NewDeployment()
+	nodesPerFPGA := 1
+	if supernode {
+		nodesPerFPGA = 4
+	}
+	servers := CountServers(root)
+	fpgas := (servers + nodesPerFPGA - 1) / nodesPerFPGA
+	if fpgas <= 2 {
+		// Small experiments rent single-FPGA f1.2xlarge instances rather
+		// than a mostly-idle 8-FPGA f1.16xlarge.
+		d.Add(hostplatform.F1_2XLarge, fpgas)
+	} else if f116 := (fpgas + 7) / 8; f116 > 0 {
+		d.Add(hostplatform.F1_16XLarge, f116)
+	}
+
+	// Count switches that have at least one switch child: they cannot be
+	// co-located with server FPGAs and run on m4.16xlarge hosts.
+	aggLike := 0
+	var walk func(t TopoNode)
+	walk = func(t TopoNode) {
+		if v, ok := t.(*SwitchNode); ok {
+			hasSwitchChild := false
+			for _, c := range v.Downlinks {
+				if _, isSwitch := c.(*SwitchNode); isSwitch {
+					hasSwitchChild = true
+				}
+				walk(c)
+			}
+			if hasSwitchChild {
+				aggLike++
+			}
+		}
+	}
+	walk(root)
+	if aggLike > 0 {
+		d.Add(hostplatform.M4_16XLarge, aggLike)
+	}
+	return d
+}

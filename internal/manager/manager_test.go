@@ -1,0 +1,329 @@
+package manager
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/softstack"
+)
+
+// figure4Topology builds the paper's 64-node example: a root switch over 8
+// ToR switches with 8 quad-core servers each (Figures 1 and 4).
+func figure4Topology() *SwitchNode {
+	root := NewSwitchNode("root")
+	for i := 0; i < 8; i++ {
+		tor := NewSwitchNode(fmt.Sprintf("tor%d", i))
+		root.AddDownlinks(tor)
+		for j := 0; j < 8; j++ {
+			tor.AddDownlinks(NewServerNode("", QuadCore))
+		}
+	}
+	return root
+}
+
+// figure10Topology builds the 1024-node datacenter: 32 ToR switches of 32
+// servers each, 4 aggregation switches of 8 ToRs each, one root.
+func figure10Topology() *SwitchNode {
+	root := NewSwitchNode("root")
+	for a := 0; a < 4; a++ {
+		agg := NewSwitchNode(fmt.Sprintf("agg%d", a))
+		root.AddDownlinks(agg)
+		for t := 0; t < 8; t++ {
+			tor := NewSwitchNode(fmt.Sprintf("tor%d_%d", a, t))
+			agg.AddDownlinks(tor)
+			for s := 0; s < 32; s++ {
+				tor.AddDownlinks(NewServerNode("", QuadCore))
+			}
+		}
+	}
+	return root
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(figure4Topology()); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+	if err := Validate(nil); err == nil {
+		t.Error("nil root accepted")
+	}
+	empty := NewSwitchNode("empty")
+	if err := Validate(empty); err == nil {
+		t.Error("switch with no downlinks accepted")
+	}
+	dup := NewSwitchNode("root")
+	srv := NewServerNode("s", QuadCore)
+	dup.AddDownlinks(srv, srv)
+	if err := Validate(dup); err == nil {
+		t.Error("repeated node accepted")
+	}
+	bad := NewSwitchNode("root")
+	bad.AddDownlinks(NewServerNode("s", BladeType("OctoCore")))
+	if err := Validate(bad); err == nil {
+		t.Error("unknown blade type accepted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	topo := figure4Topology()
+	if got := CountServers(topo); got != 64 {
+		t.Errorf("CountServers = %d, want 64", got)
+	}
+	if got := CountSwitches(topo); got != 9 {
+		t.Errorf("CountSwitches = %d, want 9", got)
+	}
+	topo10 := figure10Topology()
+	if got := CountServers(topo10); got != 1024 {
+		t.Errorf("CountServers = %d, want 1024", got)
+	}
+	if got := CountSwitches(topo10); got != 37 {
+		t.Errorf("CountSwitches = %d, want 37 (32 ToR + 4 agg + 1 root)", got)
+	}
+}
+
+func TestBuildFarmDedupes(t *testing.T) {
+	farm := NewBuildFarm()
+	topo := NewSwitchNode("root")
+	topo.AddDownlinks(
+		NewServerNode("a", QuadCore),
+		NewServerNode("b", QuadCore),
+		NewServerNode("c", SingleCore),
+	)
+	images, err := farm.BuildAll(topo, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(images) != 2 {
+		t.Errorf("built %d images, want 2 distinct types", len(images))
+	}
+	if farm.Builds != 2 {
+		t.Errorf("Builds = %d, want 2", farm.Builds)
+	}
+	// Rebuilding is a cache hit.
+	if _, err := farm.BuildAll(topo, false); err != nil {
+		t.Fatal(err)
+	}
+	if farm.Builds != 2 {
+		t.Errorf("rebuild triggered %d total builds, want cached 2", farm.Builds)
+	}
+	// Supernode images are distinct artifacts.
+	img, err := farm.Build(QuadCore, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.AGFI == images[0].AGFI {
+		t.Error("supernode image shares AGFI with standard image")
+	}
+}
+
+func TestDeployFigure4Mapping(t *testing.T) {
+	// The paper's Figure 2 mapping: 64 standard nodes need 64 FPGAs = 8x
+	// f1.16xlarge, plus one m4.16xlarge for the root switch.
+	c, err := Deploy(figure4Topology(), DeployConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Servers) != 64 || len(c.Switches) != 9 {
+		t.Fatalf("deployed %d servers, %d switches", len(c.Servers), len(c.Switches))
+	}
+	if got := c.Deployment.Count("f1.16xlarge"); got != 8 {
+		t.Errorf("f1.16xlarge = %d, want 8", got)
+	}
+	if got := c.Deployment.Count("m4.16xlarge"); got != 1 {
+		t.Errorf("m4.16xlarge = %d, want 1", got)
+	}
+	// Unique MACs and IPs.
+	macs := map[uint64]bool{}
+	for _, s := range c.Servers {
+		if macs[uint64(s.MAC())] {
+			t.Errorf("duplicate MAC %v", s.MAC())
+		}
+		macs[uint64(s.MAC())] = true
+	}
+	if c.NodeByName("server0") == nil {
+		t.Error("auto-named server0 not found")
+	}
+}
+
+func TestDeployFigure10Supernode(t *testing.T) {
+	// Section V-C: 1024 supernode-packed nodes on 32 f1.16xlarge plus 5
+	// m4.16xlarge, ~$100/hour spot, ~$440/hour on-demand, $12.8M of
+	// FPGAs.
+	c, err := Deploy(figure10Topology(), DeployConfig{Supernode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Deployment.Count("f1.16xlarge"); got != 32 {
+		t.Errorf("f1.16xlarge = %d, want 32", got)
+	}
+	if got := c.Deployment.Count("m4.16xlarge"); got != 5 {
+		t.Errorf("m4.16xlarge = %d, want 5", got)
+	}
+	if got := c.Deployment.FPGAValueUSD(); got != 12_800_000 {
+		t.Errorf("FPGA value = %.0f", got)
+	}
+	spot := c.Deployment.HourlyCost(true)
+	if spot < 90 || spot > 110 {
+		t.Errorf("spot = $%.2f, want ~$100", spot)
+	}
+	onDemand := c.Deployment.HourlyCost(false)
+	if onDemand < 430 || onDemand > 450 {
+		t.Errorf("on-demand = $%.2f, want ~$440", onDemand)
+	}
+}
+
+func TestPingAcrossDeployedCluster(t *testing.T) {
+	// End-to-end: deploy a 2-ToR topology and ping same-rack vs
+	// cross-rack; the cross-rack RTT must exceed same-rack by exactly
+	// 4 link latencies plus 2 switch crossings (the Table III mechanism).
+	root := NewSwitchNode("root")
+	for i := 0; i < 2; i++ {
+		tor := NewSwitchNode(fmt.Sprintf("tor%d", i))
+		root.AddDownlinks(tor)
+		for j := 0; j < 2; j++ {
+			tor.AddDownlinks(NewServerNode(fmt.Sprintf("n%d%d", i, j), QuadCore))
+		}
+	}
+	const lat = 6400
+	c, err := Deploy(root, DeployConfig{LinkLatency: lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ping := func(from, to string) clock.Cycles {
+		src := c.NodeByName(from)
+		dst := c.NodeByName(to)
+		var res []softstack.PingResult
+		src.Ping(c.Runner.Cycle(), dst.IP(), 3, 100*3200, func(r []softstack.PingResult) { res = r })
+		ok, err := c.RunUntil(func() bool { return res != nil }, c.Runner.Cycle()+20_000_000)
+		if err != nil || !ok {
+			t.Fatalf("ping %s->%s did not complete: %v", from, to, err)
+		}
+		return res[len(res)-1].RTT // last sample: steady state
+	}
+
+	same := ping("n00", "n01")
+	cross := ping("n00", "n11")
+	wantDelta := clock.Cycles(4*lat + 2*10)
+	delta := cross - same
+	slack := clock.Cycles(200) // frame serialisation slack
+	if delta < wantDelta-slack || delta > wantDelta+slack {
+		t.Errorf("cross-rack RTT delta = %d cycles, want ~%d", delta, wantDelta)
+	}
+}
+
+func TestRunForRounds(t *testing.T) {
+	root := NewSwitchNode("root")
+	root.AddDownlinks(NewServerNode("a", SingleCore), NewServerNode("b", SingleCore))
+	c, err := Deploy(root, DeployConfig{LinkLatency: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFor(1234); err != nil { // rounds down to 1200
+		t.Fatal(err)
+	}
+	if got := c.Runner.Cycle(); got != 1200 {
+		t.Errorf("Cycle = %d, want 1200", got)
+	}
+}
+
+func TestDeployValidatesTopology(t *testing.T) {
+	if _, err := Deploy(NewSwitchNode("empty"), DeployConfig{}); err == nil {
+		t.Error("empty topology deployed")
+	}
+}
+
+// TestSupernodeEquivalence: FAME-5 supernode packing must not change
+// target behaviour — ping RTTs are identical to a standard deployment of
+// the same topology.
+func TestSupernodeEquivalence(t *testing.T) {
+	run := func(supernode bool) []clock.Cycles {
+		root := NewSwitchNode("root")
+		tor := NewSwitchNode("tor0")
+		root.AddDownlinks(tor)
+		for j := 0; j < 8; j++ {
+			tor.AddDownlinks(NewServerNode(fmt.Sprintf("n%d", j), QuadCore))
+		}
+		c, err := Deploy(root, DeployConfig{LinkLatency: 3200, Supernode: supernode, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res []softstack.PingResult
+		c.NodeByName("n0").Ping(0, c.NodeByName("n7").IP(), 4, 50*3200,
+			func(r []softstack.PingResult) { res = r })
+		ok, err := c.RunUntil(func() bool { return res != nil }, 20_000_000)
+		if err != nil || !ok {
+			t.Fatalf("ping failed: %v", err)
+		}
+		var rtts []clock.Cycles
+		for _, p := range res {
+			rtts = append(rtts, p.RTT)
+		}
+		return rtts
+	}
+	std := run(false)
+	super := run(true)
+	for i := range std {
+		if std[i] != super[i] {
+			t.Fatalf("supernode RTTs differ from standard: %v vs %v", super, std)
+		}
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	names := Workloads()
+	if len(names) < 2 {
+		t.Fatalf("workloads = %v", names)
+	}
+	root := NewSwitchNode("root")
+	tor := NewSwitchNode("tor0")
+	root.AddDownlinks(tor)
+	for j := 0; j < 3; j++ {
+		tor.AddDownlinks(NewServerNode(fmt.Sprintf("w%d", j), QuadCore))
+	}
+	c, err := Deploy(root, DeployConfig{LinkLatency: 3200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunWorkload("ping-all", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "w1") || !strings.Contains(report, "w2") {
+		t.Errorf("ping-all report missing peers:\n%s", report)
+	}
+	report, err = RunWorkload("net-stats", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "switch") {
+		t.Errorf("net-stats report missing switches:\n%s", report)
+	}
+	if _, err := RunWorkload("nope", c); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestSmallDeployUsesF12xlarge(t *testing.T) {
+	root := NewSwitchNode("root")
+	root.AddDownlinks(NewServerNode("a", QuadCore), NewServerNode("b", QuadCore))
+	c, err := Deploy(root, DeployConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Deployment.Count("f1.2xlarge"); got != 2 {
+		t.Errorf("f1.2xlarge = %d, want 2 (one FPGA per node)", got)
+	}
+	if got := c.Deployment.Count("f1.16xlarge"); got != 0 {
+		t.Errorf("f1.16xlarge = %d, want 0 for a 2-node sim", got)
+	}
+	// Supernode packing fits both nodes on one FPGA.
+	c2, err := Deploy(root, DeployConfig{Supernode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Deployment.Count("f1.2xlarge"); got != 1 {
+		t.Errorf("supernode f1.2xlarge = %d, want 1", got)
+	}
+}

@@ -1,0 +1,168 @@
+// Package manager implements the FireSim simulation manager (Section
+// III-B3): users describe a datacenter topology programmatically — which
+// switches connect to which servers and switches — and the manager runs
+// the server configurations through the (modeled) FPGA build flow, maps
+// the simulation onto (modeled) EC2 instances, assigns MAC and IP
+// addresses, populates every switch's MAC table, instantiates the
+// simulation, and runs workloads on it.
+//
+// The topology API mirrors the paper's Figure 4 almost line for line:
+//
+//	root := manager.NewSwitchNode("root")
+//	level2 := make([]*manager.SwitchNode, 8)
+//	for i := range level2 {
+//	    level2[i] = manager.NewSwitchNode(fmt.Sprintf("tor%d", i))
+//	    root.AddDownlinks(level2[i])
+//	    for j := 0; j < 8; j++ {
+//	        level2[i].AddDownlinks(manager.NewServerNode("", manager.QuadCore))
+//	    }
+//	}
+package manager
+
+import (
+	"fmt"
+)
+
+// BladeType selects a server blade configuration (Table I allows 1-4
+// cores plus optional accelerators).
+type BladeType string
+
+// Blade types available to topologies.
+const (
+	QuadCore   BladeType = "QuadCore"
+	DualCore   BladeType = "DualCore"
+	SingleCore BladeType = "SingleCore"
+)
+
+// Cores reports the core count for the blade type.
+func (b BladeType) Cores() (int, error) {
+	switch b {
+	case QuadCore:
+		return 4, nil
+	case DualCore:
+		return 2, nil
+	case SingleCore:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("manager: unknown blade type %q", b)
+	}
+}
+
+// TopoNode is either a *SwitchNode or a *ServerNode.
+type TopoNode interface {
+	nodeName() string
+}
+
+// SwitchNode is a switch in the target topology.
+type SwitchNode struct {
+	// Name identifies the switch; empty names are auto-assigned.
+	Name string
+	// Downlinks are the children (servers or switches).
+	Downlinks []TopoNode
+}
+
+// NewSwitchNode returns a switch with no downlinks.
+func NewSwitchNode(name string) *SwitchNode { return &SwitchNode{Name: name} }
+
+// AddDownlinks attaches children, exactly like the paper's
+// add_downlinks().
+func (s *SwitchNode) AddDownlinks(nodes ...TopoNode) {
+	s.Downlinks = append(s.Downlinks, nodes...)
+}
+
+func (s *SwitchNode) nodeName() string { return s.Name }
+
+// ServerNode is a simulated server blade in the target topology.
+type ServerNode struct {
+	// Name identifies the server; empty names are auto-assigned.
+	Name string
+	// Type selects the blade configuration.
+	Type BladeType
+}
+
+// NewServerNode returns a server of the given blade type.
+func NewServerNode(name string, t BladeType) *ServerNode {
+	return &ServerNode{Name: name, Type: t}
+}
+
+func (s *ServerNode) nodeName() string { return s.Name }
+
+// Validate walks the topology checking structural invariants: no nil or
+// repeated nodes, no cycles, at least one server, and known blade types.
+func Validate(root *SwitchNode) error {
+	if root == nil {
+		return fmt.Errorf("manager: nil root switch")
+	}
+	seen := make(map[TopoNode]bool)
+	servers := 0
+	var walk func(n TopoNode) error
+	walk = func(n TopoNode) error {
+		if n == nil {
+			return fmt.Errorf("manager: nil topology node")
+		}
+		if seen[n] {
+			return fmt.Errorf("manager: node %q appears twice in the topology", n.nodeName())
+		}
+		seen[n] = true
+		switch v := n.(type) {
+		case *SwitchNode:
+			if len(v.Downlinks) == 0 {
+				return fmt.Errorf("manager: switch %q has no downlinks", v.Name)
+			}
+			for _, c := range v.Downlinks {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+		case *ServerNode:
+			servers++
+			if _, err := v.Type.Cores(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("manager: unknown topology node type %T", n)
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return err
+	}
+	if servers == 0 {
+		return fmt.Errorf("manager: topology contains no servers")
+	}
+	return nil
+}
+
+// CountServers returns the number of server blades in the topology.
+func CountServers(root *SwitchNode) int {
+	n := 0
+	var walk func(t TopoNode)
+	walk = func(t TopoNode) {
+		switch v := t.(type) {
+		case *SwitchNode:
+			for _, c := range v.Downlinks {
+				walk(c)
+			}
+		case *ServerNode:
+			n++
+		}
+	}
+	walk(root)
+	return n
+}
+
+// CountSwitches returns the number of switches in the topology.
+func CountSwitches(root *SwitchNode) int {
+	n := 0
+	var walk func(t TopoNode)
+	walk = func(t TopoNode) {
+		if v, ok := t.(*SwitchNode); ok {
+			n++
+			for _, c := range v.Downlinks {
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+	return n
+}

@@ -1,0 +1,116 @@
+package manager
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/softstack"
+	"repro/internal/stats"
+)
+
+// This file implements the manager's reusable workload descriptions: "a
+// second layer of the cluster manager allows users to describe jobs that
+// automatically run on the simulated cluster nodes and automatically
+// collect result files and host/target-level measurements for analysis
+// outside of the simulation" (Section III-B3). A Workload names a job,
+// sets it up on a deployed cluster, and harvests a report when the run
+// completes.
+
+// Workload is a reusable job description.
+type Workload struct {
+	// Name identifies the workload to the CLI and the registry.
+	Name string
+	// Description is a one-line summary.
+	Description string
+	// Run sets up the job on the cluster, advances simulation until it
+	// completes, and returns a text report.
+	Run func(c *Cluster) (string, error)
+}
+
+var workloads = map[string]Workload{}
+
+// RegisterWorkload adds a workload description to the registry.
+func RegisterWorkload(w Workload) {
+	if _, dup := workloads[w.Name]; dup {
+		panic(fmt.Sprintf("manager: workload %q registered twice", w.Name))
+	}
+	workloads[w.Name] = w
+}
+
+// Workloads lists registered workload names in sorted order.
+func Workloads() []string {
+	var names []string
+	for n := range workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunWorkload runs a registered workload on the cluster.
+func RunWorkload(name string, c *Cluster) (string, error) {
+	w, ok := workloads[name]
+	if !ok {
+		return "", fmt.Errorf("manager: unknown workload %q (have %v)", name, Workloads())
+	}
+	return w.Run(c)
+}
+
+func init() {
+	RegisterWorkload(Workload{
+		Name:        "ping-all",
+		Description: "node 0 pings every other node; reports RTT per peer",
+		Run:         runPingAll,
+	})
+	RegisterWorkload(Workload{
+		Name:        "net-stats",
+		Description: "idle the cluster briefly and dump switch/NIC counters",
+		Run:         runNetStats,
+	})
+}
+
+// runPingAll measures RTT from server 0 to every other server, five
+// samples each, reporting the steady-state RTT (the hop count to each
+// peer is visible directly in the table).
+func runPingAll(c *Cluster) (string, error) {
+	if len(c.Servers) < 2 {
+		return "", fmt.Errorf("ping-all needs at least two servers")
+	}
+	src := c.Servers[0]
+	clk := src.Clock()
+	t := stats.NewTable("Peer", "IP", "RTT (us)")
+	for _, dst := range c.Servers[1:] {
+		var res []softstack.PingResult
+		src.Ping(c.Runner.Cycle(), dst.IP(), 3, clk.CyclesInMicros(150), func(r []softstack.PingResult) { res = r })
+		deadline := c.Runner.Cycle() + clk.CyclesInMicros(5000)
+		ok, err := c.RunUntil(func() bool { return res != nil }, deadline)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "", fmt.Errorf("ping to %v did not complete", dst.IP())
+		}
+		t.AddRow(dst.Name(), dst.IP().String(), clk.Micros(res[len(res)-1].RTT))
+	}
+	return t.String(), nil
+}
+
+// runNetStats advances the cluster a little and reports per-switch and
+// per-node counters — the "host/target-level measurements" harvest.
+func runNetStats(c *Cluster) (string, error) {
+	if err := c.RunFor(clock.Cycles(64) * c.LinkLatency); err != nil {
+		return "", err
+	}
+	t := stats.NewTable("Component", "Packets in/sent", "Packets out/recv", "Drops")
+	for _, sw := range c.Switches {
+		st := sw.Stats()
+		t.AddRow("switch "+sw.Name(), st.PacketsIn, st.PacketsOut,
+			st.DropsBufFull+st.DropsStale+st.DropsUnroutable)
+	}
+	for _, n := range c.Servers {
+		st := n.Stats()
+		t.AddRow("node "+n.Name(), st.FramesSent, st.FramesRecv, uint64(0))
+	}
+	return t.String(), nil
+}

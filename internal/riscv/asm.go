@@ -1,0 +1,562 @@
+// Package riscv implements the functional+timing model of the RISC-V
+// Rocket cores inside each simulated server blade, together with a small
+// programmatic assembler used to build the bare-metal test programs of
+// Section IV-C.
+//
+// FireSim derives its server models from Rocket Chip RTL; this package is
+// the Go substitution (see DESIGN.md): an RV64IM machine-mode core with an
+// in-order single-issue timing model, memory-mapped I/O, and
+// machine-external interrupts, presenting the same observable contract —
+// deterministic cycle counts driven by the cache/DRAM hierarchy and the
+// NIC's MMIO interface.
+package riscv
+
+import "fmt"
+
+// Reg is a register number 0..31.
+type Reg uint32
+
+// ABI register names.
+const (
+	Zero Reg = iota
+	RA
+	SP
+	GP
+	TP
+	T0
+	T1
+	T2
+	S0
+	S1
+	A0
+	A1
+	A2
+	A3
+	A4
+	A5
+	A6
+	A7
+	S2
+	S3
+	S4
+	S5
+	S6
+	S7
+	S8
+	S9
+	S10
+	S11
+	T3
+	T4
+	T5
+	T6
+)
+
+// Opcode constants (major opcodes from the RV spec).
+const (
+	opLUI    = 0x37
+	opAUIPC  = 0x17
+	opJAL    = 0x6f
+	opJALR   = 0x67
+	opBranch = 0x63
+	opLoad   = 0x03
+	opStore  = 0x23
+	opImm    = 0x13
+	opImm32  = 0x1b
+	opReg    = 0x33
+	opReg32  = 0x3b
+	opSystem = 0x73
+	opFence  = 0x0f
+)
+
+// CSR addresses implemented by the core.
+const (
+	CSRMStatus  = 0x300
+	CSRMIE      = 0x304
+	CSRMTVec    = 0x305
+	CSRMScratch = 0x340
+	CSRMEPC     = 0x341
+	CSRMCause   = 0x342
+	CSRMIP      = 0x344
+	CSRMHartID  = 0xf14
+	CSRCycle    = 0xc00
+)
+
+// mstatus / mie / mip bits.
+const (
+	MStatusMIE  = 1 << 3
+	MStatusMPIE = 1 << 7
+	MIEMEIE     = 1 << 11 // machine external interrupt enable
+	MIPMEIP     = 1 << 11 // machine external interrupt pending
+)
+
+// Trap causes.
+const (
+	CauseECall        = 11
+	CauseExternalIntr = 0x8000000000000000 | 11
+)
+
+func encR(f7, rs2, rs1, f3, rd, op uint32) uint32 {
+	return f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+
+func encI(imm int32, rs1, f3, rd, op uint32) uint32 {
+	return uint32(imm)<<20 | rs1<<15 | f3<<12 | rd<<7 | op
+}
+
+func encS(imm int32, rs2, rs1, f3, op uint32) uint32 {
+	u := uint32(imm)
+	return (u>>5&0x7f)<<25 | rs2<<20 | rs1<<15 | f3<<12 | (u&0x1f)<<7 | op
+}
+
+func encB(imm int32, rs2, rs1, f3, op uint32) uint32 {
+	u := uint32(imm)
+	return (u>>12&1)<<31 | (u>>5&0x3f)<<25 | rs2<<20 | rs1<<15 | f3<<12 |
+		(u>>1&0xf)<<8 | (u>>11&1)<<7 | op
+}
+
+func encU(imm int32, rd, op uint32) uint32 {
+	return uint32(imm)&0xfffff000 | rd<<7 | op
+}
+
+func encJ(imm int32, rd, op uint32) uint32 {
+	u := uint32(imm)
+	return (u>>20&1)<<31 | (u>>1&0x3ff)<<21 | (u>>11&1)<<20 | (u>>12&0xff)<<12 | rd<<7 | op
+}
+
+type fixup struct {
+	index int    // instruction index needing patching
+	label string // target label
+	kind  byte   // 'B' branch, 'J' jal
+}
+
+// Asm builds a machine-code program with label-based control flow.
+// Instruction methods append one 32-bit word each; Assemble resolves label
+// fixups and returns the final words.
+type Asm struct {
+	words  []uint32
+	labels map[string]int
+	fixups []fixup
+	err    error
+}
+
+// NewAsm returns an empty program builder.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int)}
+}
+
+// PC returns the byte offset of the next instruction.
+func (a *Asm) PC() int { return len(a.words) * 4 }
+
+// Label defines a label at the current position.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		a.fail(fmt.Errorf("riscv: duplicate label %q", name))
+		return
+	}
+	a.labels[name] = len(a.words)
+}
+
+func (a *Asm) fail(err error) {
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+func (a *Asm) emit(w uint32) { a.words = append(a.words, w) }
+
+// Word emits a raw instruction word.
+func (a *Asm) Word(w uint32) { a.emit(w) }
+
+// --- register-register ---
+
+// ADD emits add rd, rs1, rs2.
+func (a *Asm) ADD(rd, rs1, rs2 Reg) { a.emit(encR(0, uint32(rs2), uint32(rs1), 0, uint32(rd), opReg)) }
+
+// SUB emits sub rd, rs1, rs2.
+func (a *Asm) SUB(rd, rs1, rs2 Reg) {
+	a.emit(encR(0x20, uint32(rs2), uint32(rs1), 0, uint32(rd), opReg))
+}
+
+// SLL emits sll rd, rs1, rs2.
+func (a *Asm) SLL(rd, rs1, rs2 Reg) { a.emit(encR(0, uint32(rs2), uint32(rs1), 1, uint32(rd), opReg)) }
+
+// SLT emits slt rd, rs1, rs2.
+func (a *Asm) SLT(rd, rs1, rs2 Reg) { a.emit(encR(0, uint32(rs2), uint32(rs1), 2, uint32(rd), opReg)) }
+
+// SLTU emits sltu rd, rs1, rs2.
+func (a *Asm) SLTU(rd, rs1, rs2 Reg) {
+	a.emit(encR(0, uint32(rs2), uint32(rs1), 3, uint32(rd), opReg))
+}
+
+// XOR emits xor rd, rs1, rs2.
+func (a *Asm) XOR(rd, rs1, rs2 Reg) { a.emit(encR(0, uint32(rs2), uint32(rs1), 4, uint32(rd), opReg)) }
+
+// SRL emits srl rd, rs1, rs2.
+func (a *Asm) SRL(rd, rs1, rs2 Reg) { a.emit(encR(0, uint32(rs2), uint32(rs1), 5, uint32(rd), opReg)) }
+
+// SRA emits sra rd, rs1, rs2.
+func (a *Asm) SRA(rd, rs1, rs2 Reg) {
+	a.emit(encR(0x20, uint32(rs2), uint32(rs1), 5, uint32(rd), opReg))
+}
+
+// OR emits or rd, rs1, rs2.
+func (a *Asm) OR(rd, rs1, rs2 Reg) { a.emit(encR(0, uint32(rs2), uint32(rs1), 6, uint32(rd), opReg)) }
+
+// AND emits and rd, rs1, rs2.
+func (a *Asm) AND(rd, rs1, rs2 Reg) { a.emit(encR(0, uint32(rs2), uint32(rs1), 7, uint32(rd), opReg)) }
+
+// ADDW emits addw rd, rs1, rs2.
+func (a *Asm) ADDW(rd, rs1, rs2 Reg) {
+	a.emit(encR(0, uint32(rs2), uint32(rs1), 0, uint32(rd), opReg32))
+}
+
+// SUBW emits subw rd, rs1, rs2.
+func (a *Asm) SUBW(rd, rs1, rs2 Reg) {
+	a.emit(encR(0x20, uint32(rs2), uint32(rs1), 0, uint32(rd), opReg32))
+}
+
+// --- M extension ---
+
+// MUL emits mul rd, rs1, rs2.
+func (a *Asm) MUL(rd, rs1, rs2 Reg) { a.emit(encR(1, uint32(rs2), uint32(rs1), 0, uint32(rd), opReg)) }
+
+// MULH emits mulh rd, rs1, rs2 (high 64 bits of the signed product).
+func (a *Asm) MULH(rd, rs1, rs2 Reg) {
+	a.emit(encR(1, uint32(rs2), uint32(rs1), 1, uint32(rd), opReg))
+}
+
+// MULHSU emits mulhsu rd, rs1, rs2 (high bits of signed x unsigned).
+func (a *Asm) MULHSU(rd, rs1, rs2 Reg) {
+	a.emit(encR(1, uint32(rs2), uint32(rs1), 2, uint32(rd), opReg))
+}
+
+// MULHU emits mulhu rd, rs1, rs2.
+func (a *Asm) MULHU(rd, rs1, rs2 Reg) {
+	a.emit(encR(1, uint32(rs2), uint32(rs1), 3, uint32(rd), opReg))
+}
+
+// DIV emits div rd, rs1, rs2.
+func (a *Asm) DIV(rd, rs1, rs2 Reg) { a.emit(encR(1, uint32(rs2), uint32(rs1), 4, uint32(rd), opReg)) }
+
+// DIVU emits divu rd, rs1, rs2.
+func (a *Asm) DIVU(rd, rs1, rs2 Reg) {
+	a.emit(encR(1, uint32(rs2), uint32(rs1), 5, uint32(rd), opReg))
+}
+
+// REM emits rem rd, rs1, rs2.
+func (a *Asm) REM(rd, rs1, rs2 Reg) { a.emit(encR(1, uint32(rs2), uint32(rs1), 6, uint32(rd), opReg)) }
+
+// REMU emits remu rd, rs1, rs2.
+func (a *Asm) REMU(rd, rs1, rs2 Reg) {
+	a.emit(encR(1, uint32(rs2), uint32(rs1), 7, uint32(rd), opReg))
+}
+
+// --- immediates ---
+
+// ADDI emits addi rd, rs1, imm.
+func (a *Asm) ADDI(rd, rs1 Reg, imm int32) {
+	a.checkImm12(imm)
+	a.emit(encI(imm, uint32(rs1), 0, uint32(rd), opImm))
+}
+
+// SLTI emits slti rd, rs1, imm.
+func (a *Asm) SLTI(rd, rs1 Reg, imm int32) {
+	a.checkImm12(imm)
+	a.emit(encI(imm, uint32(rs1), 2, uint32(rd), opImm))
+}
+
+// SLTIU emits sltiu rd, rs1, imm.
+func (a *Asm) SLTIU(rd, rs1 Reg, imm int32) {
+	a.checkImm12(imm)
+	a.emit(encI(imm, uint32(rs1), 3, uint32(rd), opImm))
+}
+
+// XORI emits xori rd, rs1, imm.
+func (a *Asm) XORI(rd, rs1 Reg, imm int32) {
+	a.checkImm12(imm)
+	a.emit(encI(imm, uint32(rs1), 4, uint32(rd), opImm))
+}
+
+// ORI emits ori rd, rs1, imm.
+func (a *Asm) ORI(rd, rs1 Reg, imm int32) {
+	a.checkImm12(imm)
+	a.emit(encI(imm, uint32(rs1), 6, uint32(rd), opImm))
+}
+
+// ANDI emits andi rd, rs1, imm.
+func (a *Asm) ANDI(rd, rs1 Reg, imm int32) {
+	a.checkImm12(imm)
+	a.emit(encI(imm, uint32(rs1), 7, uint32(rd), opImm))
+}
+
+// SLLI emits slli rd, rs1, shamt.
+func (a *Asm) SLLI(rd, rs1 Reg, shamt int32) {
+	a.emit(encI(shamt&0x3f, uint32(rs1), 1, uint32(rd), opImm))
+}
+
+// SRLI emits srli rd, rs1, shamt.
+func (a *Asm) SRLI(rd, rs1 Reg, shamt int32) {
+	a.emit(encI(shamt&0x3f, uint32(rs1), 5, uint32(rd), opImm))
+}
+
+// SRAI emits srai rd, rs1, shamt.
+func (a *Asm) SRAI(rd, rs1 Reg, shamt int32) {
+	a.emit(encI(shamt&0x3f|0x400, uint32(rs1), 5, uint32(rd), opImm))
+}
+
+// ADDIW emits addiw rd, rs1, imm.
+func (a *Asm) ADDIW(rd, rs1 Reg, imm int32) {
+	a.checkImm12(imm)
+	a.emit(encI(imm, uint32(rs1), 0, uint32(rd), opImm32))
+}
+
+// LUI emits lui rd, imm (imm is the full 32-bit value whose top 20 bits
+// are used).
+func (a *Asm) LUI(rd Reg, imm int32) { a.emit(encU(imm, uint32(rd), opLUI)) }
+
+// AUIPC emits auipc rd, imm.
+func (a *Asm) AUIPC(rd Reg, imm int32) { a.emit(encU(imm, uint32(rd), opAUIPC)) }
+
+func (a *Asm) checkImm12(imm int32) {
+	if imm < -2048 || imm > 2047 {
+		a.fail(fmt.Errorf("riscv: immediate %d out of 12-bit range", imm))
+	}
+}
+
+// --- loads and stores ---
+
+// LB emits lb rd, off(rs1).
+func (a *Asm) LB(rd, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encI(off, uint32(rs1), 0, uint32(rd), opLoad))
+}
+
+// LH emits lh rd, off(rs1).
+func (a *Asm) LH(rd, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encI(off, uint32(rs1), 1, uint32(rd), opLoad))
+}
+
+// LW emits lw rd, off(rs1).
+func (a *Asm) LW(rd, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encI(off, uint32(rs1), 2, uint32(rd), opLoad))
+}
+
+// LD emits ld rd, off(rs1).
+func (a *Asm) LD(rd, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encI(off, uint32(rs1), 3, uint32(rd), opLoad))
+}
+
+// LBU emits lbu rd, off(rs1).
+func (a *Asm) LBU(rd, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encI(off, uint32(rs1), 4, uint32(rd), opLoad))
+}
+
+// LHU emits lhu rd, off(rs1).
+func (a *Asm) LHU(rd, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encI(off, uint32(rs1), 5, uint32(rd), opLoad))
+}
+
+// LWU emits lwu rd, off(rs1).
+func (a *Asm) LWU(rd, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encI(off, uint32(rs1), 6, uint32(rd), opLoad))
+}
+
+// SB emits sb rs2, off(rs1).
+func (a *Asm) SB(rs2, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encS(off, uint32(rs2), uint32(rs1), 0, opStore))
+}
+
+// SH emits sh rs2, off(rs1).
+func (a *Asm) SH(rs2, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encS(off, uint32(rs2), uint32(rs1), 1, opStore))
+}
+
+// SW emits sw rs2, off(rs1).
+func (a *Asm) SW(rs2, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encS(off, uint32(rs2), uint32(rs1), 2, opStore))
+}
+
+// SD emits sd rs2, off(rs1).
+func (a *Asm) SD(rs2, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encS(off, uint32(rs2), uint32(rs1), 3, opStore))
+}
+
+// --- control flow ---
+
+func (a *Asm) branch(rs1, rs2 Reg, f3 uint32, label string) {
+	a.fixups = append(a.fixups, fixup{index: len(a.words), label: label, kind: 'B'})
+	a.emit(encB(0, uint32(rs2), uint32(rs1), f3, opBranch))
+}
+
+// BEQ emits beq rs1, rs2, label.
+func (a *Asm) BEQ(rs1, rs2 Reg, label string) { a.branch(rs1, rs2, 0, label) }
+
+// BNE emits bne rs1, rs2, label.
+func (a *Asm) BNE(rs1, rs2 Reg, label string) { a.branch(rs1, rs2, 1, label) }
+
+// BLT emits blt rs1, rs2, label.
+func (a *Asm) BLT(rs1, rs2 Reg, label string) { a.branch(rs1, rs2, 4, label) }
+
+// BGE emits bge rs1, rs2, label.
+func (a *Asm) BGE(rs1, rs2 Reg, label string) { a.branch(rs1, rs2, 5, label) }
+
+// BLTU emits bltu rs1, rs2, label.
+func (a *Asm) BLTU(rs1, rs2 Reg, label string) { a.branch(rs1, rs2, 6, label) }
+
+// BGEU emits bgeu rs1, rs2, label.
+func (a *Asm) BGEU(rs1, rs2 Reg, label string) { a.branch(rs1, rs2, 7, label) }
+
+// JAL emits jal rd, label.
+func (a *Asm) JAL(rd Reg, label string) {
+	a.fixups = append(a.fixups, fixup{index: len(a.words), label: label, kind: 'J'})
+	a.emit(encJ(0, uint32(rd), opJAL))
+}
+
+// JALR emits jalr rd, off(rs1).
+func (a *Asm) JALR(rd, rs1 Reg, off int32) {
+	a.checkImm12(off)
+	a.emit(encI(off, uint32(rs1), 0, uint32(rd), opJALR))
+}
+
+// J emits an unconditional jump to label (jal x0).
+func (a *Asm) J(label string) { a.JAL(Zero, label) }
+
+// RET emits jalr x0, 0(ra).
+func (a *Asm) RET() { a.JALR(Zero, RA, 0) }
+
+// NOP emits addi x0, x0, 0.
+func (a *Asm) NOP() { a.ADDI(Zero, Zero, 0) }
+
+// --- system ---
+
+// CSRRW emits csrrw rd, csr, rs1.
+func (a *Asm) CSRRW(rd Reg, csr uint32, rs1 Reg) {
+	a.emit(encI(int32(csr), uint32(rs1), 1, uint32(rd), opSystem))
+}
+
+// CSRRS emits csrrs rd, csr, rs1.
+func (a *Asm) CSRRS(rd Reg, csr uint32, rs1 Reg) {
+	a.emit(encI(int32(csr), uint32(rs1), 2, uint32(rd), opSystem))
+}
+
+// CSRRC emits csrrc rd, csr, rs1.
+func (a *Asm) CSRRC(rd Reg, csr uint32, rs1 Reg) {
+	a.emit(encI(int32(csr), uint32(rs1), 3, uint32(rd), opSystem))
+}
+
+// ECALL emits ecall.
+func (a *Asm) ECALL() { a.emit(encI(0, 0, 0, 0, opSystem)) }
+
+// EBREAK emits ebreak; the core model treats it as a simulation halt,
+// playing the role of the tohost power-off used by bare-metal RISC-V test
+// harnesses.
+func (a *Asm) EBREAK() { a.emit(encI(1, 0, 0, 0, opSystem)) }
+
+// WFI emits wfi (wait for interrupt).
+func (a *Asm) WFI() { a.emit(encI(0x105, 0, 0, 0, opSystem)) }
+
+// MRET emits mret.
+func (a *Asm) MRET() { a.emit(encI(0x302, 0, 0, 0, opSystem)) }
+
+// FENCE emits fence (a timing no-op in this single-hart model).
+func (a *Asm) FENCE() { a.emit(encI(0, 0, 0, 0, opFence)) }
+
+// --- pseudo-instructions ---
+
+// LI loads a 32-bit signed constant into rd (1-2 instructions).
+func (a *Asm) LI(rd Reg, v int32) {
+	if v >= -2048 && v <= 2047 {
+		a.ADDI(rd, Zero, v)
+		return
+	}
+	upper := int32((int64(v) + 0x800) & ^int64(0xfff))
+	a.LUI(rd, upper)
+	if low := v - upper; low != 0 {
+		a.ADDIW(rd, rd, low)
+	}
+}
+
+// LI64 loads an arbitrary 64-bit constant into rd with a shift-or chunk
+// sequence (11 instructions, no scratch register); used for MMIO base
+// addresses above the sign-extendable range.
+func (a *Asm) LI64(rd Reg, v uint64) {
+	// Top 9 bits first (always fits a 12-bit immediate), then five 11-bit
+	// chunks, each ORI-safe because 11-bit values are non-negative.
+	a.ADDI(rd, Zero, int32(v>>55))
+	for shift := 44; shift >= 0; shift -= 11 {
+		a.SLLI(rd, rd, 11)
+		if chunk := int32(v >> uint(shift) & 0x7ff); chunk != 0 {
+			a.ORI(rd, rd, chunk)
+		}
+	}
+}
+
+// MV emits mv rd, rs (addi rd, rs, 0).
+func (a *Asm) MV(rd, rs Reg) { a.ADDI(rd, rs, 0) }
+
+// Assemble resolves all fixups and returns the program as instruction
+// words.
+func (a *Asm) Assemble() ([]uint32, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("riscv: undefined label %q", f.label)
+		}
+		off := int32(target-f.index) * 4
+		w := a.words[f.index]
+		switch f.kind {
+		case 'B':
+			if off < -4096 || off > 4095 {
+				return nil, fmt.Errorf("riscv: branch to %q out of range (%d bytes)", f.label, off)
+			}
+			a.words[f.index] = encB(off, w>>20&0x1f, w>>15&0x1f, w>>12&7, opBranch)
+		case 'J':
+			if off < -(1<<20) || off >= 1<<20 {
+				return nil, fmt.Errorf("riscv: jump to %q out of range (%d bytes)", f.label, off)
+			}
+			a.words[f.index] = encJ(off, w>>7&0x1f, opJAL)
+		}
+	}
+	return a.words, nil
+}
+
+// MustAssemble is Assemble for tests and fixed programs, panicking on
+// error.
+func (a *Asm) MustAssemble() []uint32 {
+	w, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Bytes assembles the program to little-endian bytes for loading into the
+// DRAM model.
+func (a *Asm) Bytes() ([]byte, error) {
+	words, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, len(words)*4)
+	for i, w := range words {
+		buf[i*4] = byte(w)
+		buf[i*4+1] = byte(w >> 8)
+		buf[i*4+2] = byte(w >> 16)
+		buf[i*4+3] = byte(w >> 24)
+	}
+	return buf, nil
+}

@@ -1,0 +1,182 @@
+package riscv
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// execBinOp runs a single register-register instruction on fresh state
+// with the given operand values and returns rd.
+func execBinOp(t *testing.T, emit func(a *Asm), x, y uint64) uint64 {
+	t.Helper()
+	a := NewAsm()
+	a.LI64(T0, x)
+	a.LI64(T1, y)
+	emit(a)
+	a.EBREAK()
+	bus := newFlatBus(1 << 16)
+	bus.loadProgram(a.MustAssemble())
+	cpu := New(bus, 0, 0)
+	for i := 0; i < 100 && !cpu.Halted; i++ {
+		cpu.Step()
+	}
+	if !cpu.Halted {
+		t.Fatal("program did not halt")
+	}
+	return cpu.X[A0]
+}
+
+// TestALUAgainstGoSemantics cross-checks every RV64 register-register ALU
+// op against Go's own 64-bit semantics over random operands.
+func TestALUAgainstGoSemantics(t *testing.T) {
+	ops := []struct {
+		name string
+		emit func(a *Asm)
+		ref  func(x, y uint64) uint64
+	}{
+		{"add", func(a *Asm) { a.ADD(A0, T0, T1) }, func(x, y uint64) uint64 { return x + y }},
+		{"sub", func(a *Asm) { a.SUB(A0, T0, T1) }, func(x, y uint64) uint64 { return x - y }},
+		{"xor", func(a *Asm) { a.XOR(A0, T0, T1) }, func(x, y uint64) uint64 { return x ^ y }},
+		{"or", func(a *Asm) { a.OR(A0, T0, T1) }, func(x, y uint64) uint64 { return x | y }},
+		{"and", func(a *Asm) { a.AND(A0, T0, T1) }, func(x, y uint64) uint64 { return x & y }},
+		{"sll", func(a *Asm) { a.SLL(A0, T0, T1) }, func(x, y uint64) uint64 { return x << (y & 63) }},
+		{"srl", func(a *Asm) { a.SRL(A0, T0, T1) }, func(x, y uint64) uint64 { return x >> (y & 63) }},
+		{"sra", func(a *Asm) { a.SRA(A0, T0, T1) }, func(x, y uint64) uint64 { return uint64(int64(x) >> (y & 63)) }},
+		{"slt", func(a *Asm) { a.SLT(A0, T0, T1) }, func(x, y uint64) uint64 {
+			if int64(x) < int64(y) {
+				return 1
+			}
+			return 0
+		}},
+		{"sltu", func(a *Asm) { a.SLTU(A0, T0, T1) }, func(x, y uint64) uint64 {
+			if x < y {
+				return 1
+			}
+			return 0
+		}},
+		{"mul", func(a *Asm) { a.MUL(A0, T0, T1) }, func(x, y uint64) uint64 { return x * y }},
+		{"mulhu", func(a *Asm) { a.MULHU(A0, T0, T1) }, func(x, y uint64) uint64 {
+			hi, _ := bits.Mul64(x, y)
+			return hi
+		}},
+		{"divu", func(a *Asm) { a.DIVU(A0, T0, T1) }, func(x, y uint64) uint64 {
+			if y == 0 {
+				return ^uint64(0)
+			}
+			return x / y
+		}},
+		{"remu", func(a *Asm) { a.REMU(A0, T0, T1) }, func(x, y uint64) uint64 {
+			if y == 0 {
+				return x
+			}
+			return x % y
+		}},
+		{"addw", func(a *Asm) { a.ADDW(A0, T0, T1) }, func(x, y uint64) uint64 {
+			return uint64(int64(int32(uint32(x) + uint32(y))))
+		}},
+		{"subw", func(a *Asm) { a.SUBW(A0, T0, T1) }, func(x, y uint64) uint64 {
+			return uint64(int64(int32(uint32(x) - uint32(y))))
+		}},
+	}
+	for _, op := range ops {
+		op := op
+		t.Run(op.name, func(t *testing.T) {
+			check := func(x, y uint64) bool {
+				return execBinOp(t, op.emit, x, y) == op.ref(x, y)
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSignedDivAgainstGo checks DIV/REM including the spec's two special
+// cases (divide by zero, most-negative overflow) against a Go reference.
+func TestSignedDivAgainstGo(t *testing.T) {
+	refDiv := func(x, y int64) uint64 {
+		switch {
+		case y == 0:
+			return ^uint64(0)
+		case x == -1<<63 && y == -1:
+			return uint64(x)
+		default:
+			return uint64(x / y)
+		}
+	}
+	refRem := func(x, y int64) uint64 {
+		switch {
+		case y == 0:
+			return uint64(x)
+		case x == -1<<63 && y == -1:
+			return 0
+		default:
+			return uint64(x % y)
+		}
+	}
+	check := func(x, y int64) bool {
+		d := execBinOp(t, func(a *Asm) { a.DIV(A0, T0, T1) }, uint64(x), uint64(y))
+		r := execBinOp(t, func(a *Asm) { a.REM(A0, T0, T1) }, uint64(x), uint64(y))
+		return d == refDiv(x, y) && r == refRem(x, y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+	// The two special cases explicitly.
+	if got := execBinOp(t, func(a *Asm) { a.DIV(A0, T0, T1) }, 1<<63, ^uint64(0)); got != 1<<63 {
+		t.Errorf("INT64_MIN / -1 = %#x", got)
+	}
+	if got := execBinOp(t, func(a *Asm) { a.REM(A0, T0, T1) }, 7, 0); got != 7 {
+		t.Errorf("7 %% 0 = %d", got)
+	}
+}
+
+// TestCSRSetClearSemantics verifies CSRRS/CSRRC read-modify-write
+// behaviour and the rs1=x0 no-write rule.
+func TestCSRSetClearSemantics(t *testing.T) {
+	a := NewAsm()
+	a.LI(T0, 0b1100)
+	a.CSRRW(Zero, CSRMScratch, T0) // mscratch = 0b1100
+	a.LI(T1, 0b0110)
+	a.CSRRS(A0, CSRMScratch, T1)   // A0 = 0b1100, mscratch = 0b1110
+	a.CSRRC(A1, CSRMScratch, T1)   // A1 = 0b1110, mscratch = 0b1000
+	a.CSRRS(A2, CSRMScratch, Zero) // A2 = 0b1000, no write
+	a.EBREAK()
+	bus := newFlatBus(1 << 16)
+	bus.loadProgram(a.MustAssemble())
+	cpu := New(bus, 0, 0)
+	for i := 0; i < 50 && !cpu.Halted; i++ {
+		cpu.Step()
+	}
+	if cpu.X[A0] != 0b1100 || cpu.X[A1] != 0b1110 || cpu.X[A2] != 0b1000 {
+		t.Errorf("CSR sequence = %#b %#b %#b", cpu.X[A0], cpu.X[A1], cpu.X[A2])
+	}
+	if cpu.MScratch != 0b1000 {
+		t.Errorf("mscratch = %#b, want 0b1000", cpu.MScratch)
+	}
+}
+
+// TestMulhSignedAgainstGo checks MULH and MULHSU against bits.Mul64-based
+// references.
+func TestMulhSignedAgainstGo(t *testing.T) {
+	refMulh := func(x, y int64) uint64 {
+		hi, _ := bits.Mul64(uint64(x), uint64(y))
+		// Convert unsigned high to signed high: subtract the wraparound
+		// corrections.
+		if x < 0 {
+			hi -= uint64(y)
+		}
+		if y < 0 {
+			hi -= uint64(x)
+		}
+		return hi
+	}
+	check := func(x, y int64) bool {
+		got := execBinOp(t, func(a *Asm) { a.MULH(A0, T0, T1) }, uint64(x), uint64(y))
+		return got == refMulh(x, y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

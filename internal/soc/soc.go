@@ -1,0 +1,409 @@
+// Package soc assembles the complete target server blade of Table I as a
+// single FAME-1 endpoint:
+//
+//	1-4 RISC-V Rocket-class cores @ 3.2 GHz   (internal/riscv)
+//	16 KiB L1I$ + 16 KiB L1D$ per core        (internal/cache)
+//	256 KiB shared L2$                        (internal/cache)
+//	16 GiB DDR3 memory                        (internal/dram)
+//	200 Gbit/s Ethernet NIC                   (internal/nic)
+//	Block device                              (internal/blockdev)
+//	UART, power-off device, accelerator slots
+//
+// The blade's only token port is the NIC's top-level interface: each
+// target cycle the SoC consumes one network input token and produces one
+// output token, so the whole blade obeys the decoupled FAME-1 contract and
+// can be dropped into any fame.Runner topology next to switch models.
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/dram"
+	"repro/internal/ethernet"
+	"repro/internal/nic"
+	"repro/internal/riscv"
+	"repro/internal/token"
+)
+
+// Memory map.
+const (
+	// DRAMBase is where the 16 GiB memory window begins; programs are
+	// loaded and entered at DRAMBase.
+	DRAMBase uint64 = 0x8000_0000
+	// NICBase is the NIC MMIO window.
+	NICBase uint64 = 0x6000_0000
+	// BlockDevBase is the block device MMIO window.
+	BlockDevBase uint64 = 0x6100_0000
+	// UARTBase is the console MMIO window (write a byte to print it).
+	UARTBase uint64 = 0x5400_0000
+	// PowerOff halts the simulation when written, like the tohost
+	// "finisher" device in RISC-V test harnesses.
+	PowerOff uint64 = 0x0010_0000
+	// mmioWindow is the size of each device window.
+	mmioWindow uint64 = 0x1000
+	// mmioLatency is the fixed cost of an uncached MMIO access.
+	mmioLatency clock.Cycles = 12
+)
+
+// Device is a memory-mapped peripheral attachable to the SoC (Table II's
+// accelerator slots use this interface too).
+type Device interface {
+	// MMIOLoad services a read at the given offset within the device
+	// window.
+	MMIOLoad(now clock.Cycles, offset uint64) uint64
+	// MMIOStore services a write.
+	MMIOStore(now clock.Cycles, offset uint64, v uint64)
+	// IntrPending reports whether the device is asserting its interrupt.
+	IntrPending() bool
+}
+
+// Config describes a server blade.
+type Config struct {
+	// Name identifies the blade.
+	Name string
+	// Cores is the number of Rocket-class cores (Table I: 1 to 4).
+	Cores int
+	// MAC is the NIC address assigned by the manager.
+	MAC ethernet.MAC
+	// DRAM, L1I, L1D, L2 override the default hierarchy when non-zero.
+	DRAM dram.Config
+	L1I  cache.Config
+	L1D  cache.Config
+	L2   cache.Config
+	// NICConfig overrides the default NIC parameters when non-zero.
+	NICConfig nic.Config
+}
+
+// QuadCore returns the standard quad-core blade configuration used in the
+// paper's cluster experiments.
+func QuadCore(name string, mac ethernet.MAC) Config {
+	return Config{Name: name, Cores: 4, MAC: mac}
+}
+
+// SoC is the assembled server blade.
+type SoC struct {
+	cfg  Config
+	dram *dram.Model
+	l2   *cache.Cache
+	nic  *nic.NIC
+	bdev *blockdev.Device
+
+	cores []*core
+	// devices maps MMIO base -> device for the generic accelerator slots.
+	devices map[uint64]Device
+
+	console []byte
+	cycle   clock.Cycles
+	halted  bool
+}
+
+// core bundles one hart with its private L1s and bus adapter.
+type core struct {
+	cpu       *riscv.CPU
+	bus       *coreBus
+	busyUntil clock.Cycles
+}
+
+// New builds a blade. The program (raw RV64 machine code) is loaded at
+// DRAMBase, where all harts begin execution; hart 0 is conventionally the
+// only one released unless the program coordinates via mhartid.
+func New(cfg Config, program []byte) (*SoC, error) {
+	if cfg.Cores < 1 || cfg.Cores > 4 {
+		return nil, fmt.Errorf("soc: %d cores outside Table I's 1-4 range", cfg.Cores)
+	}
+	s := &SoC{cfg: cfg, devices: make(map[uint64]Device)}
+	s.dram = dram.New(cfg.DRAM)
+
+	l2cfg := cfg.L2
+	if l2cfg.SizeBytes == 0 {
+		l2cfg = cache.DefaultL2()
+	}
+	s.l2 = cache.New(l2cfg, dramLevel{s.dram})
+
+	niccfg := cfg.NICConfig
+	if niccfg.MAC == 0 {
+		niccfg = nic.DefaultConfig(cfg.MAC)
+	}
+	s.nic = nic.New(niccfg, &socDMA{s: s})
+	s.bdev = blockdev.New(blockdev.DefaultConfig(), &socDMA{s: s})
+
+	for i := 0; i < cfg.Cores; i++ {
+		l1i := cfg.L1I
+		if l1i.SizeBytes == 0 {
+			l1i = cache.DefaultL1I()
+		}
+		l1d := cfg.L1D
+		if l1d.SizeBytes == 0 {
+			l1d = cache.DefaultL1D()
+		}
+		b := &coreBus{
+			s:   s,
+			l1i: cache.New(l1i, s.l2),
+			l1d: cache.New(l1d, s.l2),
+		}
+		c := &core{cpu: riscv.New(b, uint64(i), DRAMBase), bus: b}
+		s.cores = append(s.cores, c)
+	}
+
+	s.dram.WriteBytes(0, make([]byte, 0)) // touch nothing; program below
+	s.loadProgram(program)
+	return s, nil
+}
+
+func (s *SoC) loadProgram(program []byte) {
+	s.dram.WriteBytes(0+dramOffset(DRAMBase), program)
+}
+
+func dramOffset(addr uint64) uint64 { return addr - DRAMBase }
+
+// RegisterDevice attaches an accelerator or custom peripheral at the given
+// MMIO base (must not collide with the built-in windows).
+func (s *SoC) RegisterDevice(base uint64, dev Device) error {
+	if base == NICBase || base == BlockDevBase || base == UARTBase {
+		return fmt.Errorf("soc: MMIO base %#x collides with a built-in device", base)
+	}
+	if _, dup := s.devices[base]; dup {
+		return fmt.Errorf("soc: MMIO base %#x registered twice", base)
+	}
+	s.devices[base] = dev
+	return nil
+}
+
+// NIC exposes the blade's NIC (for manager-side rate-limit configuration).
+func (s *SoC) NIC() *nic.NIC { return s.nic }
+
+// DMA returns a coherent DMA port into the blade's memory system (timing
+// through the shared L2, data against DRAM). Accelerators attached via
+// RegisterDevice use it to move operands, like RoCC units sharing the L2.
+func (s *SoC) DMA() nic.Memory { return &socDMA{s: s} }
+
+// BlockDev exposes the blade's block device (for disk provisioning).
+func (s *SoC) BlockDev() *blockdev.Device { return s.bdev }
+
+// DRAM exposes the memory model (for test setup and result extraction).
+func (s *SoC) DRAM() *dram.Model { return s.dram }
+
+// Core returns hart i's CPU state.
+func (s *SoC) Core(i int) *riscv.CPU { return s.cores[i].cpu }
+
+// Console returns everything written to the UART.
+func (s *SoC) Console() string { return string(s.console) }
+
+// Halted reports whether the blade has powered off (all harts halted or
+// the power-off device written).
+func (s *SoC) Halted() bool {
+	if s.halted {
+		return true
+	}
+	for _, c := range s.cores {
+		if !c.cpu.Halted {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements fame.Endpoint.
+func (s *SoC) Name() string { return s.cfg.Name }
+
+// NumPorts implements fame.Endpoint: the blade's single network port.
+func (s *SoC) NumPorts() int { return 1 }
+
+// TickBatch implements fame.Endpoint by ticking the whole blade one cycle
+// at a time: NIC token exchange, device retirement, then every hart.
+func (s *SoC) TickBatch(n int, in, out []*token.Batch) {
+	dense := in[0].Dense()
+	for i := 0; i < n; i++ {
+		now := s.cycle + clock.Cycles(i)
+		outTok := s.nic.Tick(now, dense[i])
+		if outTok.Valid {
+			out[0].Put(i, outTok)
+		}
+		s.bdev.Tick(now)
+		if s.halted {
+			continue
+		}
+		intr := s.nic.IntrPending() || s.bdev.IntrPending() || s.devIntrPending()
+		for _, c := range s.cores {
+			c.cpu.SetExternalInterrupt(intr)
+			if now < c.busyUntil || c.cpu.Halted {
+				continue
+			}
+			c.cpu.Cycle = now
+			c.bus.now = now
+			cost := c.cpu.Step()
+			if cost <= 0 {
+				cost = 1
+			}
+			c.busyUntil = now + cost
+		}
+	}
+	s.cycle += clock.Cycles(n)
+}
+
+func (s *SoC) devIntrPending() bool {
+	for _, d := range s.devices {
+		if d.IntrPending() {
+			return true
+		}
+	}
+	return false
+}
+
+// --- memory system plumbing ---
+
+// dramLevel adapts the DRAM model to the cache.MemLevel interface.
+type dramLevel struct {
+	m *dram.Model
+}
+
+func (d dramLevel) AccessLine(now clock.Cycles, addr uint64, write bool) clock.Cycles {
+	return d.m.Access(now, addr, write)
+}
+
+// socDMA is the NIC/blockdev DMA port: functional data moves against the
+// DRAM backing store while timing goes through the shared L2 at line
+// granularity with pipelined issue (one line per cycle), which is what
+// bounds the bare-metal NIC experiment at the DDR3 streaming rate.
+type socDMA struct {
+	s *SoC
+}
+
+func (d *socDMA) ReadDMA(now clock.Cycles, addr uint64, buf []byte) clock.Cycles {
+	d.s.dram.ReadBytes(dramOffset(addr), buf)
+	return d.timeLines(now, addr, len(buf), false)
+}
+
+func (d *socDMA) WriteDMA(now clock.Cycles, addr uint64, data []byte) clock.Cycles {
+	d.s.dram.WriteBytes(dramOffset(addr), data)
+	return d.timeLines(now, addr, len(data), true)
+}
+
+func (d *socDMA) timeLines(now clock.Cycles, addr uint64, n int, write bool) clock.Cycles {
+	const line = 64
+	start := addr &^ (line - 1)
+	end := (addr + uint64(n) + line - 1) &^ (line - 1)
+	done := now
+	issue := now
+	for a := start; a < end; a += line {
+		t := d.s.l2.AccessLine(issue, dramOffset(a), write)
+		if t > done {
+			done = t
+		}
+		issue++ // pipelined: one line issued per cycle
+	}
+	return done
+}
+
+// coreBus is one hart's view of the address space: cached DRAM plus
+// uncached MMIO windows.
+type coreBus struct {
+	s   *SoC
+	l1i *cache.Cache
+	l1d *cache.Cache
+	now clock.Cycles
+}
+
+// L1I exposes the instruction cache for stats.
+func (b *coreBus) L1I() *cache.Cache { return b.l1i }
+
+// L1D exposes the data cache for stats.
+func (b *coreBus) L1D() *cache.Cache { return b.l1d }
+
+// Fetch implements riscv.Bus.
+func (b *coreBus) Fetch(addr uint64) (uint32, clock.Cycles) {
+	if addr < DRAMBase {
+		panic(fmt.Sprintf("soc: instruction fetch outside DRAM at %#x", addr))
+	}
+	off := dramOffset(addr)
+	done := b.l1i.Access(b.now, off, false)
+	var w [4]byte
+	b.s.dram.ReadBytes(off, w[:])
+	v := uint32(w[0]) | uint32(w[1])<<8 | uint32(w[2])<<16 | uint32(w[3])<<24
+	// Hit latency 1 is already the pipeline's steady state; report only
+	// the cycles beyond a hit as stall.
+	lat := done - b.now - b.l1i.Config().HitLatency
+	if lat < 0 {
+		lat = 0
+	}
+	return v, lat
+}
+
+// Load implements riscv.Bus.
+func (b *coreBus) Load(addr uint64, size int) (uint64, clock.Cycles) {
+	if dev, off, ok := b.s.decodeMMIO(addr); ok {
+		return dev.MMIOLoad(b.now, off), mmioLatency
+	}
+	if addr < DRAMBase {
+		panic(fmt.Sprintf("soc: load outside DRAM at %#x", addr))
+	}
+	off := dramOffset(addr)
+	done := b.l1d.Access(b.now, off, false)
+	buf := make([]byte, size)
+	b.s.dram.ReadBytes(off, buf)
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v, done - b.now
+}
+
+// Store implements riscv.Bus.
+func (b *coreBus) Store(addr uint64, size int, v uint64) clock.Cycles {
+	if addr == PowerOff {
+		b.s.halted = true
+		return 1
+	}
+	if dev, off, ok := b.s.decodeMMIO(addr); ok {
+		dev.MMIOStore(b.now, off, v)
+		return mmioLatency
+	}
+	if addr >= UARTBase && addr < UARTBase+mmioWindow {
+		b.s.console = append(b.s.console, byte(v))
+		return mmioLatency
+	}
+	if addr < DRAMBase {
+		panic(fmt.Sprintf("soc: store outside DRAM at %#x", addr))
+	}
+	off := dramOffset(addr)
+	done := b.l1d.Access(b.now, off, true)
+	buf := make([]byte, size)
+	for i := 0; i < size; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	b.s.dram.WriteBytes(off, buf)
+	return done - b.now
+}
+
+// decodeMMIO resolves an address to a device window.
+func (s *SoC) decodeMMIO(addr uint64) (Device, uint64, bool) {
+	switch {
+	case addr >= NICBase && addr < NICBase+mmioWindow:
+		return nicDevice{s.nic}, addr - NICBase, true
+	case addr >= BlockDevBase && addr < BlockDevBase+mmioWindow:
+		return bdevDevice{s.bdev}, addr - BlockDevBase, true
+	}
+	for base, dev := range s.devices {
+		if addr >= base && addr < base+mmioWindow {
+			return dev, addr - base, true
+		}
+	}
+	return nil, 0, false
+}
+
+// nicDevice adapts the NIC's MMIO interface to the Device shape.
+type nicDevice struct{ n *nic.NIC }
+
+func (d nicDevice) MMIOLoad(now clock.Cycles, off uint64) uint64     { return d.n.MMIOLoad(off) }
+func (d nicDevice) MMIOStore(now clock.Cycles, off uint64, v uint64) { d.n.MMIOStore(off, v) }
+func (d nicDevice) IntrPending() bool                                { return d.n.IntrPending() }
+
+// bdevDevice adapts the block device likewise.
+type bdevDevice struct{ b *blockdev.Device }
+
+func (d bdevDevice) MMIOLoad(now clock.Cycles, off uint64) uint64     { return d.b.MMIOLoad(now, off) }
+func (d bdevDevice) MMIOStore(now clock.Cycles, off uint64, v uint64) { d.b.MMIOStore(off, v) }
+func (d bdevDevice) IntrPending() bool                                { return d.b.IntrPending() }

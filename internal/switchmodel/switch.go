@@ -1,0 +1,367 @@
+// Package switchmodel implements FireSim's software switch models.
+//
+// Switches in the target design are modeled in software (C++ in the paper,
+// Go here) processing network flits cycle-by-cycle. The algorithm follows
+// Section III-B1 exactly:
+//
+//   - At ingress, simulation tokens containing valid data are buffered into
+//     full packets, timestamped with the arrival cycle of their last token
+//     plus a configurable minimum switching latency.
+//   - A global switching step pushes all packets that completed during the
+//     round through a priority queue sorted on timestamp, and drains the
+//     queue into output-port buffers chosen by a static MAC address table
+//     (datacenter topologies are relatively fixed). Broadcast packets are
+//     duplicated as necessary.
+//   - Per output port, packets are "released" onto the link in token form
+//     when their release timestamp is less than or equal to global
+//     simulation time and the output token buffer has space. Because the
+//     output token buffer is of fixed size each iteration (one link
+//     latency's worth of tokens), congestion is modeled automatically by
+//     packets not being releasable. Buffer sizing and congestion drops are
+//     modeled by bounding the delay between a packet's release timestamp
+//     and global time, and by bounding output buffer occupancy in bytes.
+//
+// The switching algorithm and the assumption of Ethernet as the link layer
+// are not fundamental: users can plug in their own Router to model new
+// switch designs.
+package switchmodel
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/ethernet"
+	"repro/internal/token"
+)
+
+// Config parameterises a switch. Port bandwidth, link latency, buffering
+// and switching latency are all runtime-configurable (no FPGA rebuild), as
+// the paper emphasises.
+type Config struct {
+	// Name identifies the switch in diagnostics and stats.
+	Name string
+	// Ports is the number of full-duplex ports.
+	Ports int
+	// SwitchingLatency is the minimum port-to-port latency added to every
+	// packet's timestamp at ingress. The paper's experiments use 10 cycles.
+	SwitchingLatency clock.Cycles
+	// OutputBufferBytes bounds each output port's packet buffer; packets
+	// that would overflow it are dropped (at full-packet granularity).
+	OutputBufferBytes int
+	// MaxReleaseDelay bounds how stale a packet may become (global time
+	// minus release timestamp) before it is dropped, modeling drop due to
+	// congestion. Zero disables staleness drops.
+	MaxReleaseDelay clock.Cycles
+	// Router chooses output ports; nil selects a MAC-table router.
+	Router Router
+}
+
+// DefaultSwitchingLatency is the paper's fixed port-to-port latency.
+const DefaultSwitchingLatency clock.Cycles = 10
+
+// DefaultOutputBufferBytes is a generous default output buffer (512 KiB),
+// comparable to per-port packet memory in datacenter ToR switches.
+const DefaultOutputBufferBytes = 512 << 10
+
+// Packet is a fully-assembled packet inside the switch.
+type Packet struct {
+	// Flits is the packet's link-level data.
+	Flits []uint64
+	// InPort is the ingress port.
+	InPort int
+	// Release is the earliest global cycle at which the packet may be
+	// released to an output port (last-flit arrival + switching latency).
+	Release clock.Cycles
+	// seq breaks timestamp ties deterministically (ingress order).
+	seq uint64
+}
+
+// Dst returns the destination MAC parsed from the first flit.
+func (p *Packet) Dst() ethernet.MAC { return ethernet.DstFromFirstFlit(p.Flits[0]) }
+
+// Router decides which output ports a packet goes to.
+type Router interface {
+	// Route returns the output ports for the packet. Returning no ports
+	// drops the packet.
+	Route(sw *Switch, pkt *Packet) []int
+}
+
+// MACTableRouter routes by a static MAC address table populated by the
+// simulation manager, flooding broadcast and unknown-destination packets to
+// every port except the ingress port.
+type MACTableRouter struct {
+	table map[ethernet.MAC]int
+}
+
+// NewMACTableRouter returns an empty table router.
+func NewMACTableRouter() *MACTableRouter {
+	return &MACTableRouter{table: make(map[ethernet.MAC]int)}
+}
+
+// Set maps a MAC address to an output port.
+func (r *MACTableRouter) Set(mac ethernet.MAC, port int) { r.table[mac] = port }
+
+// Lookup reports the port for a MAC, if present.
+func (r *MACTableRouter) Lookup(mac ethernet.MAC) (int, bool) {
+	p, ok := r.table[mac]
+	return p, ok
+}
+
+// Route implements Router.
+func (r *MACTableRouter) Route(sw *Switch, pkt *Packet) []int {
+	dst := pkt.Dst()
+	if dst != ethernet.Broadcast {
+		if port, ok := r.table[dst]; ok {
+			if port == pkt.InPort {
+				return nil // never reflect a packet back out its ingress port
+			}
+			return []int{port}
+		}
+	}
+	// Broadcast / unknown destination: flood.
+	ports := make([]int, 0, sw.cfg.Ports-1)
+	for p := 0; p < sw.cfg.Ports; p++ {
+		if p != pkt.InPort {
+			ports = append(ports, p)
+		}
+	}
+	return ports
+}
+
+// Stats aggregates switch activity counters.
+type Stats struct {
+	PacketsIn       uint64
+	PacketsOut      uint64
+	FlitsIn         uint64
+	FlitsOut        uint64
+	DropsBufFull    uint64
+	DropsStale      uint64
+	DropsUnroutable uint64
+	BytesSwitched   uint64
+}
+
+// pending is the global timestamp-sorted priority queue of routed packets.
+type pending []*Packet
+
+func (h pending) Len() int { return len(h) }
+func (h pending) Less(i, j int) bool {
+	if h[i].Release != h[j].Release {
+		return h[i].Release < h[j].Release
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pending) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pending) Push(x interface{}) { *h = append(*h, x.(*Packet)) }
+func (h *pending) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// outPort is the egress state of one port.
+type outPort struct {
+	queue       []*Packet // FIFO, already routed, bounded by bytes
+	queuedBytes int
+	// tx is the packet currently being transmitted, flit index next to go.
+	tx     *Packet
+	txFlit int
+}
+
+// inPort is the ingress state of one port: partial packet assembly.
+type inPort struct {
+	flits []uint64
+}
+
+// Switch is a software switch model implementing fame.Endpoint.
+type Switch struct {
+	cfg    Config
+	router Router
+	cycle  clock.Cycles
+	seq    uint64
+
+	in    []inPort
+	out   []outPort
+	queue pending
+
+	stats Stats
+
+	// probe, when non-nil, is called once per released flit with the
+	// absolute cycle, for bandwidth-over-time measurements (Figure 6
+	// samples aggregate bandwidth at the root switch).
+	probe func(cycle clock.Cycles, port int)
+}
+
+// New builds a switch from cfg, applying defaults for zero values.
+func New(cfg Config) *Switch {
+	if cfg.Ports <= 0 {
+		panic(fmt.Sprintf("switchmodel: switch %q needs at least one port", cfg.Name))
+	}
+	if cfg.SwitchingLatency == 0 {
+		cfg.SwitchingLatency = DefaultSwitchingLatency
+	}
+	if cfg.OutputBufferBytes == 0 {
+		cfg.OutputBufferBytes = DefaultOutputBufferBytes
+	}
+	router := cfg.Router
+	if router == nil {
+		router = NewMACTableRouter()
+	}
+	return &Switch{
+		cfg:    cfg,
+		router: router,
+		in:     make([]inPort, cfg.Ports),
+		out:    make([]outPort, cfg.Ports),
+	}
+}
+
+// Name implements fame.Endpoint.
+func (s *Switch) Name() string { return s.cfg.Name }
+
+// NumPorts implements fame.Endpoint.
+func (s *Switch) NumPorts() int { return s.cfg.Ports }
+
+// Router returns the switch's router, for manager-side MAC table
+// population.
+func (s *Switch) Router() Router { return s.router }
+
+// MACTable returns the router as a *MACTableRouter if that is what is
+// installed, for the common case.
+func (s *Switch) MACTable() *MACTableRouter {
+	r, _ := s.router.(*MACTableRouter)
+	return r
+}
+
+// Stats returns a snapshot of the switch counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// Cycle returns the switch's current target cycle.
+func (s *Switch) Cycle() clock.Cycles { return s.cycle }
+
+// SetProbe installs a per-released-flit callback for bandwidth
+// measurement.
+func (s *Switch) SetProbe(fn func(cycle clock.Cycles, port int)) { s.probe = fn }
+
+// TickBatch implements fame.Endpoint: one full switching round over n
+// target cycles.
+func (s *Switch) TickBatch(n int, in, out []*token.Batch) {
+	// Phase 1: ingress. Buffer valid tokens into packets; timestamp each
+	// completed packet with its last token's arrival cycle plus the
+	// minimum switching latency, and push it into the global queue.
+	for p := 0; p < s.cfg.Ports; p++ {
+		ip := &s.in[p]
+		for _, slot := range in[p].Slots {
+			ip.flits = append(ip.flits, slot.Tok.Data)
+			s.stats.FlitsIn++
+			if slot.Tok.Last {
+				pkt := &Packet{
+					Flits:   ip.flits,
+					InPort:  p,
+					Release: s.cycle + clock.Cycles(slot.Offset) + s.cfg.SwitchingLatency,
+					seq:     s.seq,
+				}
+				s.seq++
+				ip.flits = nil
+				s.stats.PacketsIn++
+				heap.Push(&s.queue, pkt)
+			}
+		}
+	}
+
+	// Phase 2: global switching step. Drain the priority queue in
+	// timestamp order into output port buffers via the router, duplicating
+	// for broadcast. Packets that would overflow an output buffer are
+	// dropped at full-packet granularity.
+	for s.queue.Len() > 0 {
+		pkt := heap.Pop(&s.queue).(*Packet)
+		ports := s.router.Route(s, pkt)
+		if len(ports) == 0 {
+			s.stats.DropsUnroutable++
+			continue
+		}
+		for _, op := range ports {
+			o := &s.out[op]
+			bytes := len(pkt.Flits) * ethernet.FlitSize
+			if o.queuedBytes+bytes > s.cfg.OutputBufferBytes {
+				s.stats.DropsBufFull++
+				continue
+			}
+			dup := pkt
+			if len(ports) > 1 {
+				c := *pkt
+				dup = &c
+			}
+			o.queue = append(o.queue, dup)
+			o.queuedBytes += bytes
+		}
+	}
+
+	// Phase 3: egress. Per port, release packets whose timestamp has been
+	// reached, one flit per cycle. The output token buffer for the round
+	// is exactly n tokens, so a congested port simply fails to release —
+	// which is the paper's congestion model.
+	for p := 0; p < s.cfg.Ports; p++ {
+		s.releasePort(p, n, out[p])
+	}
+	s.cycle += clock.Cycles(n)
+}
+
+func (s *Switch) releasePort(p int, n int, out *token.Batch) {
+	o := &s.out[p]
+	for i := 0; i < n; i++ {
+		now := s.cycle + clock.Cycles(i)
+		if o.tx == nil {
+			// Try to start a new packet this cycle.
+			for len(o.queue) > 0 {
+				head := o.queue[0]
+				if head.Release > now {
+					break
+				}
+				if s.cfg.MaxReleaseDelay > 0 && now-head.Release > s.cfg.MaxReleaseDelay {
+					// Too stale: congestion drop.
+					o.queue = o.queue[1:]
+					o.queuedBytes -= len(head.Flits) * ethernet.FlitSize
+					s.stats.DropsStale++
+					continue
+				}
+				o.tx = head
+				o.txFlit = 0
+				o.queue = o.queue[1:]
+				break
+			}
+		}
+		if o.tx == nil {
+			// Idle: fast-forward to the next packet's release time (or
+			// the end of the batch). Semantically identical to ticking
+			// every empty cycle, but O(1) for idle ports.
+			if len(o.queue) == 0 {
+				return
+			}
+			next := o.queue[0].Release
+			if next >= s.cycle+clock.Cycles(n) {
+				return
+			}
+			if j := int(next - s.cycle); j > i {
+				i = j - 1 // loop increment lands on the release cycle
+			}
+			continue
+		}
+		flit := o.tx.Flits[o.txFlit]
+		last := o.txFlit == len(o.tx.Flits)-1
+		out.Put(i, token.Token{Data: flit, Valid: true, Last: last})
+		s.stats.FlitsOut++
+		s.stats.BytesSwitched += ethernet.FlitSize
+		if s.probe != nil {
+			s.probe(now, p)
+		}
+		o.txFlit++
+		if last {
+			o.queuedBytes -= len(o.tx.Flits) * ethernet.FlitSize
+			o.tx = nil
+			s.stats.PacketsOut++
+		}
+	}
+}

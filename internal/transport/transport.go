@@ -1,0 +1,154 @@
+// Package transport implements FireSim's physical token transports
+// (Section III-B2).
+//
+// The paper moves tokens over three transports: PCIe/EDMA between FPGA and
+// host, shared memory between processes on one host, and TCP sockets
+// between hosts. In this reproduction the fame.Runner's channels play the
+// shared-memory role; this package adds:
+//
+//   - a wire codec for token batches (binary framing), and
+//   - Bridge, a fame.Endpoint that splices a simulation across two Runner
+//     instances — potentially in different OS processes or machines —
+//     over any io.ReadWriter (usually a TCP connection). A Bridge pair
+//     behaves as a zero-latency wire: all target latency stays in the
+//     explicit links, so splitting a topology across hosts does not change
+//     its cycle-level behaviour (asserted by tests).
+//
+// As in the paper, tokens are batched to one link latency's worth per
+// exchange, and "the exchange of these tokens ensures that each server
+// simulation computes each target cycle deterministically": a Bridge
+// blocks until its peer's batch arrives, which is exactly the decoupled
+// synchronisation the token protocol prescribes.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/token"
+)
+
+// maxSlots bounds decoded batch occupancy as a sanity check against
+// corrupt streams.
+const maxSlots = 1 << 24
+
+// WriteBatch encodes a batch to w.
+func WriteBatch(w io.Writer, b *token.Batch) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(b.N))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(b.Slots)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	var rec [13]byte
+	for _, s := range b.Slots {
+		binary.BigEndian.PutUint32(rec[0:4], uint32(s.Offset))
+		binary.BigEndian.PutUint64(rec[4:12], s.Tok.Data)
+		var flags byte
+		if s.Tok.Valid {
+			flags |= 1
+		}
+		if s.Tok.Last {
+			flags |= 2
+		}
+		rec[12] = flags
+		if _, err := w.Write(rec[:]); err != nil {
+			return fmt.Errorf("transport: write slot: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadBatch decodes a batch from r into dst (which is Reset first).
+func ReadBatch(r io.Reader, dst *token.Batch) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("transport: read header: %w", err)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[0:4]))
+	count := int(binary.BigEndian.Uint32(hdr[4:8]))
+	if n <= 0 || count < 0 || count > maxSlots || count > n {
+		return fmt.Errorf("transport: corrupt batch header (n=%d, slots=%d)", n, count)
+	}
+	dst.Reset(n)
+	var rec [13]byte
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return fmt.Errorf("transport: read slot: %w", err)
+		}
+		off := int(int32(binary.BigEndian.Uint32(rec[0:4])))
+		tok := token.Token{
+			Data:  binary.BigEndian.Uint64(rec[4:12]),
+			Valid: rec[12]&1 != 0,
+			Last:  rec[12]&2 != 0,
+		}
+		if off < 0 || off >= n {
+			return fmt.Errorf("transport: corrupt slot offset %d", off)
+		}
+		dst.Put(off, tok)
+	}
+	return nil
+}
+
+// Bridge splices one token stream endpoint of a distributed simulation.
+// It forwards everything received on its single local port to the peer
+// and emits everything the peer sends. Both sides must advance in
+// identical batch steps (guaranteed when both topologies use the same
+// link latencies).
+type Bridge struct {
+	name string
+	w    *bufio.Writer
+	r    *bufio.Reader
+	err  error
+}
+
+// NewBridge wraps a connection. Each side of the distributed simulation
+// creates one Bridge over its end of the connection and Connects it where
+// the remote half of the topology would attach.
+func NewBridge(name string, conn io.ReadWriter) *Bridge {
+	return &Bridge{
+		name: name,
+		w:    bufio.NewWriter(conn),
+		r:    bufio.NewReader(conn),
+	}
+}
+
+// Err reports the first transport error encountered (the simulation
+// cannot continue past one; subsequent batches are empty).
+func (b *Bridge) Err() error { return b.err }
+
+// Name implements fame.Endpoint.
+func (b *Bridge) Name() string { return b.name }
+
+// NumPorts implements fame.Endpoint.
+func (b *Bridge) NumPorts() int { return 1 }
+
+// TickBatch implements fame.Endpoint: ship the local batch and block for
+// the peer's batch covering the same target window. The write runs
+// concurrently with the read so that the exchange cannot deadlock even on
+// fully synchronous connections (both peers write simultaneously).
+func (b *Bridge) TickBatch(n int, in, out []*token.Batch) {
+	if b.err != nil {
+		return
+	}
+	writeDone := make(chan error, 1)
+	go func() {
+		if err := WriteBatch(b.w, in[0]); err != nil {
+			writeDone <- err
+			return
+		}
+		writeDone <- b.w.Flush()
+	}()
+	readErr := ReadBatch(b.r, out[0])
+	writeErr := <-writeDone
+	switch {
+	case writeErr != nil:
+		b.err = writeErr
+	case readErr != nil:
+		b.err = readErr
+	case out[0].N != n:
+		b.err = fmt.Errorf("transport: peer batch covers %d cycles, local step is %d", out[0].N, n)
+	}
+}
