@@ -21,6 +21,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/manager"
 	"repro/internal/softstack"
 	"repro/internal/stats"
@@ -41,6 +42,8 @@ func main() {
 		err = cmdDeploy(os.Args[2:])
 	case "ping":
 		err = cmdPing(os.Args[2:])
+	case "faults":
+		err = cmdFaults(os.Args[2:])
 	case "memcached":
 		err = cmdMemcached(os.Args[2:])
 	case "workload":
@@ -66,6 +69,7 @@ commands:
   build      run the (modeled) FPGA build flow for a topology
   deploy     plan the EC2 instance mapping and cost for a topology
   ping       boot a rack and measure ping RTT between two nodes
+  faults     list fault scenarios or preview a deterministic fault schedule
   memcached  run a memcached+mutilate load test on a rack
   workload   run a reusable workload description on a deployed topology`)
 }
@@ -183,6 +187,8 @@ func cmdPing(args []string) error {
 	nodes := fs.Int("nodes", 8, "servers on the rack")
 	latencyUs := fs.Float64("latency-us", 2, "link latency in microseconds")
 	count := fs.Int("count", 10, "echo requests")
+	scenario := fs.String("faults", "", "fault scenario to inject (see 'firesim faults')")
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +196,8 @@ func cmdPing(args []string) error {
 	c, err := core.Deploy(core.Rack("tor0", *nodes, core.QuadCore), core.DeployConfig{
 		LinkLatency:      clk.CyclesInMicros(*latencyUs),
 		DisableStaticARP: true,
+		Seed:             *faultSeed,
+		FaultScenario:    *scenario,
 	})
 	if err != nil {
 		return err
@@ -201,7 +209,7 @@ func cmdPing(args []string) error {
 	if err != nil {
 		return err
 	}
-	if !ok {
+	if !ok && c.Faults == nil {
 		return fmt.Errorf("ping did not complete")
 	}
 	fmt.Printf("PING %v -> %v over a %g us / 200 Gbit/s network:\n", src.IP(), dst.IP(), *latencyUs)
@@ -212,6 +220,59 @@ func cmdPing(args []string) error {
 		}
 		fmt.Printf("  seq=%d time=%.2f us%s\n", pr.Seq, clk.Micros(pr.RTT), note)
 	}
+	if !ok {
+		fmt.Printf("  (ping did not complete under injected faults)\n")
+	}
+	if c.Faults != nil {
+		fmt.Printf("\nfault injection (scenario %q, seed %d, schedule %#x):\n",
+			*scenario, *faultSeed, c.Faults.Fingerprint())
+		fmt.Print(c.Faults.Counters().Table().String())
+	}
+	return nil
+}
+
+func cmdFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "scenario to preview (empty lists the registry)")
+	seed := fs.Uint64("seed", 1, "schedule seed")
+	nodes := fs.Int("nodes", 8, "servers on the rack used for the preview")
+	horizonUs := fs.Float64("horizon-us", 10000, "schedule horizon in target microseconds")
+	show := fs.Int("show", 20, "events to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scenario == "" {
+		fmt.Println("available fault scenarios:")
+		for _, n := range faults.Scenarios() {
+			fmt.Printf("  %s\n", n)
+		}
+		return nil
+	}
+	clk := clock.New(clock.DefaultTargetClock)
+	c, err := core.Deploy(core.Rack("tor0", *nodes, core.QuadCore), core.DeployConfig{
+		Seed:          *seed,
+		FaultScenario: *scenario,
+		FaultHorizon:  clk.CyclesInMicros(*horizonUs),
+	})
+	if err != nil {
+		return err
+	}
+	evs := c.Faults.Events()
+	fmt.Printf("scenario %q, seed %d: %d events, schedule fingerprint %#x\n",
+		*scenario, *seed, len(evs), c.Faults.Fingerprint())
+	t := stats.NewTable("Kind", "Target", "Port", "Start", "End")
+	for i, ev := range evs {
+		if i >= *show {
+			fmt.Printf("(showing first %d of %d events)\n", *show, len(evs))
+			break
+		}
+		port := fmt.Sprint(ev.Port)
+		if ev.Port < 0 {
+			port = "all"
+		}
+		t.AddRow(ev.Kind.String(), ev.Target, port, ev.Start, ev.End)
+	}
+	fmt.Print(t.String())
 	return nil
 }
 

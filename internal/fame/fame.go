@@ -61,6 +61,24 @@ type Endpoint interface {
 	TickBatch(n int, in, out []*token.Batch)
 }
 
+// Injector observes and mutates token batches as they cross endpoint
+// boundaries, the hook the fault-injection subsystem (internal/faults)
+// plugs into. FilterInput runs on a batch just before it is delivered to
+// the named endpoint's input port; FilterOutput runs on a batch the
+// endpoint just emitted, before it enters the link. start is the absolute
+// target cycle of the batch's first token, so an injector keyed on
+// (endpoint, port, cycle) is a pure function of target time and therefore
+// deterministic under both Run and RunParallel.
+//
+// Implementations may mutate the batch in place (the runtime owns its
+// storage at hook time) but must not retain it. They must be safe for
+// concurrent calls on distinct endpoints: RunParallel invokes hooks from
+// one goroutine per endpoint.
+type Injector interface {
+	FilterInput(endpoint string, port int, start clock.Cycles, b *token.Batch)
+	FilterOutput(endpoint string, port int, start clock.Cycles, b *token.Batch)
+}
+
 // link is one attachment point: (endpoint index, port).
 type portRef struct {
 	ep   int
@@ -124,6 +142,10 @@ type Runner struct {
 	// outputs never sees aliased batches).
 	emptyIn    *token.Batch
 	scratchOut [][]*token.Batch
+
+	// injector, when non-nil, filters every batch crossing an endpoint
+	// boundary (fault injection).
+	injector Injector
 
 	// stepOverride, when non-zero, forces a smaller batch step than the
 	// latency GCD (it must divide every link latency). Target behaviour is
@@ -195,6 +217,13 @@ func (r *Runner) Step() clock.Cycles {
 // Cycle returns the current target cycle (the number of cycles fully
 // simulated so far).
 func (r *Runner) Cycle() clock.Cycles { return r.cycle }
+
+// SetInjector installs (or, with nil, removes) the batch filter hook used
+// for fault injection. It may be called between runs; mid-run changes are
+// not supported. Determinism is preserved as long as the injector itself
+// is a pure function of (endpoint, port, cycle), which faults.Plan
+// guarantees.
+func (r *Runner) SetInjector(inj Injector) { r.injector = inj }
 
 // SetStepOverride forces exchanging batches of s tokens instead of one
 // link latency's worth. s must divide every link latency; it must be set
@@ -324,7 +353,23 @@ func (r *Runner) Run(cycles clock.Cycles) error {
 					out[p] = sb
 				}
 			}
+			if inj := r.injector; inj != nil {
+				name := e.Name()
+				for p := range in {
+					if r.inCh[i][p] != nil {
+						inj.FilterInput(name, p, r.cycle, in[p])
+					}
+				}
+			}
 			e.TickBatch(n, in, out)
+			if inj := r.injector; inj != nil {
+				name := e.Name()
+				for p := range in {
+					if r.outCh[i][p] != nil {
+						inj.FilterOutput(name, p, r.cycle, out[p])
+					}
+				}
+			}
 			for p := range in {
 				if ch := r.outCh[i][p]; ch != nil {
 					ch.push(out[p])
@@ -392,6 +437,7 @@ func (r *Runner) RunParallel(cycles clock.Cycles) error {
 		}
 	}
 
+	base := r.cycle
 	var wg sync.WaitGroup
 	for i, e := range r.endpoints {
 		wg.Add(1)
@@ -421,7 +467,25 @@ func (r *Runner) RunParallel(cycles clock.Cycles) error {
 						out[p] = localScratch[p]
 					}
 				}
+				if inj := r.injector; inj != nil {
+					name := e.Name()
+					start := base + clock.Cycles(round)*r.step
+					for p := 0; p < np; p++ {
+						if r.inCh[i][p] != nil {
+							inj.FilterInput(name, p, start, in[p])
+						}
+					}
+				}
 				e.TickBatch(n, in, out)
+				if inj := r.injector; inj != nil {
+					name := e.Name()
+					start := base + clock.Cycles(round)*r.step
+					for p := 0; p < np; p++ {
+						if r.outCh[i][p] != nil {
+							inj.FilterOutput(name, p, start, out[p])
+						}
+					}
+				}
 				for p := 0; p < np; p++ {
 					if ch := r.outCh[i][p]; ch != nil {
 						pipes[ch].data <- out[p]

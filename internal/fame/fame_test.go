@@ -359,3 +359,76 @@ func TestMeasureReportsRate(t *testing.T) {
 		t.Errorf("EffectiveHz = %v, want > 0", rate.EffectiveHz())
 	}
 }
+
+// dropOddInjector drops every token at an odd absolute cycle on input and
+// XORs a mask into every output token: a pure function of (endpoint, port,
+// cycle), as the Injector contract requires.
+type dropOddInjector struct{ mask uint64 }
+
+func (d *dropOddInjector) FilterInput(ep string, port int, start clock.Cycles, b *token.Batch) {
+	b.Filter(func(offset int, tok token.Token) bool {
+		return (int64(start)+int64(offset))%2 == 0
+	})
+}
+
+func (d *dropOddInjector) FilterOutput(ep string, port int, start clock.Cycles, b *token.Batch) {
+	b.Mutate(func(offset int, tok token.Token) token.Token {
+		tok.Data ^= d.mask
+		return tok
+	})
+}
+
+// TestInjectorEquivalence verifies that an installed injector (a) actually
+// perturbs the token stream and (b) perturbs it identically under the
+// sequential and parallel schedulers — the determinism contract fault
+// injection relies on.
+func TestInjectorEquivalence(t *testing.T) {
+	build := func(inject bool) (*Runner, *Sink) {
+		src := NewSource("src")
+		for c := int64(0); c < 64; c++ {
+			src.EmitAt(c, token.Token{Data: uint64(c) + 100, Valid: true, Last: c%4 == 3})
+		}
+		sink := NewSink("sink")
+		r := NewRunner()
+		r.Add(src)
+		r.Add(sink)
+		if err := r.Connect(src, 0, sink, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		if inject {
+			r.SetInjector(&dropOddInjector{mask: 0xff00})
+		}
+		return r, sink
+	}
+
+	r0, clean := build(false)
+	if err := r0.Run(128); err != nil {
+		t.Fatal(err)
+	}
+	r1, seq := build(true)
+	if err := r1.Run(128); err != nil {
+		t.Fatal(err)
+	}
+	r2, par := build(true)
+	if err := r2.RunParallel(128); err != nil {
+		t.Fatal(err)
+	}
+
+	if reflect.DeepEqual(clean.Received, seq.Received) {
+		t.Fatal("injector had no observable effect")
+	}
+	if len(seq.Received) >= len(clean.Received) {
+		t.Errorf("drops did not reduce delivery: %d -> %d", len(clean.Received), len(seq.Received))
+	}
+	if !reflect.DeepEqual(seq.Received, par.Received) {
+		t.Errorf("sequential and parallel injected streams differ:\nseq: %v\npar: %v", seq.Received, par.Received)
+	}
+	for _, a := range seq.Received {
+		if a.Cycle%2 != 0 {
+			t.Fatalf("token delivered at odd cycle %d despite drop filter", a.Cycle)
+		}
+		if a.Tok.Data&0xff00 == 0 {
+			t.Fatalf("output mutation missing on token %v", a.Tok)
+		}
+	}
+}

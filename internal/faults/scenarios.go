@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+)
+
+// Named scenarios give experiments a shared vocabulary: the manager's
+// DeployConfig and the firesim CLI both accept a scenario name, so "run
+// the ping benchmark under flaky-links with seed 7" is a complete,
+// reproducible experiment description.
+//
+// Rates are expressed in target cycles at the paper's 3.2 GHz clock; as a
+// reference point, 3_200_000 cycles is 1 ms of target time.
+
+// scenarios maps name -> config template (Seed and Horizon are filled in
+// by the caller).
+var scenarios = map[string]Config{
+	// flaky-links: links go completely dark for tens of microseconds every
+	// few milliseconds, the classic marginal-optics failure.
+	"flaky-links": {
+		LinkFlap: Burst{MeanEvery: 6_400_000, MeanDuration: 64_000},
+	},
+	// lossy: short bursts of packet loss, as from a congested or
+	// error-prone path.
+	"lossy": {
+		PacketDrop: Burst{MeanEvery: 1_600_000, MeanDuration: 8_000},
+	},
+	// bit-rot: occasional short windows of payload corruption.
+	"bit-rot": {
+		Corrupt: Burst{MeanEvery: 3_200_000, MeanDuration: 3_200},
+	},
+	// brownout: switch egress ports stall for hundreds of microseconds,
+	// modeling head-of-line blocking or a wedged egress scheduler.
+	"brownout": {
+		PortStall: Burst{MeanEvery: 9_600_000, MeanDuration: 640_000},
+	},
+	// node-freeze: whole nodes hang for about a millisecond at a time.
+	"node-freeze": {
+		NodeFreeze: Burst{MeanEvery: 16_000_000, MeanDuration: 3_200_000},
+	},
+	// chaos: everything at once, at reduced per-class rates.
+	"chaos": {
+		LinkFlap:   Burst{MeanEvery: 12_800_000, MeanDuration: 32_000},
+		PacketDrop: Burst{MeanEvery: 6_400_000, MeanDuration: 6_400},
+		Corrupt:    Burst{MeanEvery: 12_800_000, MeanDuration: 3_200},
+		PortStall:  Burst{MeanEvery: 19_200_000, MeanDuration: 320_000},
+		NodeFreeze: Burst{MeanEvery: 32_000_000, MeanDuration: 1_600_000},
+	},
+}
+
+// Scenarios lists the registered scenario names in sorted order.
+func Scenarios() []string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scenario returns the config for a named scenario with the given seed and
+// horizon (zero horizon means DefaultHorizon). The empty name returns a
+// disabled config, so callers can thread an optional flag straight
+// through.
+func Scenario(name string, seed uint64, horizon clock.Cycles) (Config, error) {
+	if name == "" || name == "none" {
+		return Config{Scenario: "none", Seed: seed, Horizon: horizon}, nil
+	}
+	cfg, ok := scenarios[name]
+	if !ok {
+		return Config{}, fmt.Errorf("faults: unknown scenario %q (have %v)", name, Scenarios())
+	}
+	cfg.Scenario = name
+	cfg.Seed = seed
+	cfg.Horizon = horizon
+	return cfg, nil
+}

@@ -2,14 +2,20 @@ package manager
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/clock"
 	"repro/internal/ethernet"
 	"repro/internal/fame"
+	"repro/internal/faults"
 	"repro/internal/hostplatform"
 	"repro/internal/softstack"
 	"repro/internal/switchmodel"
 )
+
+// A fault plan injects at the runner level, so it must satisfy the
+// runner's hook interface (faults deliberately does not import fame).
+var _ fame.Injector = (*faults.Plan)(nil)
 
 // DeployConfig controls how a topology is instantiated. Network latency,
 // bandwidth, topology and blade selection are all runtime-configurable —
@@ -32,6 +38,16 @@ type DeployConfig struct {
 	Freq clock.Hz
 	// Costs overrides the modeled kernel constants (zero = defaults).
 	Costs softstack.Costs
+	// FaultScenario names a registered fault-injection scenario (see
+	// faults.Scenarios); empty means no injection. The schedule is derived
+	// deterministically from Seed.
+	FaultScenario string
+	// FaultConfig, when non-nil, overrides FaultScenario with an explicit
+	// fault configuration.
+	FaultConfig *faults.Config
+	// FaultHorizon bounds the fault schedule in target cycles (default
+	// faults.DefaultHorizon; events are only generated below it).
+	FaultHorizon clock.Cycles
 }
 
 // Cluster is a deployed simulation: the token-level runner plus handles to
@@ -49,6 +65,9 @@ type Cluster struct {
 	Images []Image
 	// LinkLatency is the deployed link latency in cycles.
 	LinkLatency clock.Cycles
+	// Faults is the deterministic fault schedule wired into this
+	// simulation, or nil when fault injection is disabled.
+	Faults *faults.Plan
 
 	byName map[string]*softstack.Node
 }
@@ -190,6 +209,7 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 	collectMACs(root)
 
 	swIdx := 0
+	var faultTargets []faults.Target
 	var build func(s *SwitchNode, isRoot bool) (*swInst, error)
 	build = func(s *SwitchNode, isRoot bool) (*swInst, error) {
 		ports := len(s.Downlinks)
@@ -248,6 +268,9 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 					if err := c.Runner.Connect(p.node, 0, sw, p.port, cfg.LinkLatency); err != nil {
 						return err
 					}
+					faultTargets = append(faultTargets, faults.Target{
+						Name: p.node.Name(), Ports: 1, Kind: faults.NodeTarget,
+					})
 				}
 			} else {
 				eps := make([]fame.Endpoint, len(group))
@@ -261,6 +284,13 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 						return err
 					}
 				}
+				// Faults are injected at runner endpoints, so the FPGA-level
+				// multiplex — not the individual blade — is the failure
+				// domain in supernode mode: a NodeFreeze takes out all four
+				// packed blades, like a host FPGA dying would.
+				faultTargets = append(faultTargets, faults.Target{
+					Name: m.Name(), Ports: m.NumPorts(), Kind: faults.NodeTarget,
+				})
 			}
 			group = group[:0]
 			return nil
@@ -300,10 +330,80 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 	}
 	for _, si := range switches {
 		c.Switches = append(c.Switches, si.sw)
+		faultTargets = append(faultTargets, faults.Target{
+			Name: si.sw.Name(), Ports: si.sw.NumPorts(), Kind: faults.SwitchTarget,
+		})
+	}
+
+	if err := c.wireFaults(cfg, faultTargets); err != nil {
+		return nil, err
 	}
 
 	c.Deployment = planDeployment(root, cfg.Supernode)
 	return c, nil
+}
+
+// wireFaults resolves the configured fault scenario into a deterministic
+// plan and installs it: the plan becomes the runner's token injector and
+// every switch with scheduled port stalls gets its stall hook.
+func (c *Cluster) wireFaults(cfg DeployConfig, targets []faults.Target) error {
+	var fcfg faults.Config
+	switch {
+	case cfg.FaultConfig != nil:
+		fcfg = *cfg.FaultConfig
+	case cfg.FaultScenario != "":
+		var err error
+		fcfg, err = faults.Scenario(cfg.FaultScenario, cfg.Seed, cfg.FaultHorizon)
+		if err != nil {
+			return err
+		}
+	default:
+		return nil
+	}
+	if !fcfg.Enabled() {
+		return nil
+	}
+	plan, err := faults.Generate(fcfg, targets)
+	if err != nil {
+		return err
+	}
+	c.Faults = plan
+	c.Runner.SetInjector(plan)
+	for _, sw := range c.Switches {
+		if fn := plan.StallFunc(sw.Name()); fn != nil {
+			sw.SetStall(fn)
+		}
+	}
+	return nil
+}
+
+// TopologyHash digests the structural identity of a deployment — tree
+// shape, component names, blade types, link latency, supernode packing —
+// into a 64-bit value. The two halves of a distributed simulation pass it
+// as transport.BridgeConfig.TopologyHash so the bridge handshake refuses
+// to splice simulations of different targets together.
+func TopologyHash(root *SwitchNode, cfg DeployConfig) uint64 {
+	h := fnv.New64a()
+	write := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
+	if cfg.LinkLatency == 0 {
+		cfg.LinkLatency = 6400
+	}
+	write(fmt.Sprintf("link=%d supernode=%v", cfg.LinkLatency, cfg.Supernode))
+	var walk func(t TopoNode)
+	walk = func(t TopoNode) {
+		switch v := t.(type) {
+		case *SwitchNode:
+			write("sw " + v.Name)
+			for _, d := range v.Downlinks {
+				walk(d)
+			}
+			write("end")
+		case *ServerNode:
+			write("srv " + v.Name + " " + string(v.Type))
+		}
+	}
+	walk(root)
+	return h.Sum64()
 }
 
 // planDeployment maps the topology onto EC2 instances: ToR switches and

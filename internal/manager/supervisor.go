@@ -1,0 +1,200 @@
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/fame"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// This file adds the distributed-run supervisor. A scale-out simulation
+// spans several Runner instances joined by transport bridges; any of the
+// peer hosts can die mid-run. Without supervision the surviving partition
+// would block forever waiting for tokens that will never arrive. The
+// supervisor drives the local runner in slices and polls the bridges
+// between slices: when a bridge reports a permanent transport error it is
+// degraded (its token stream goes silent), the remote partition's nodes
+// are marked down, and the local partition keeps simulating to the
+// horizon so partial results survive the failure.
+//
+// This relies on the hardened bridge: deadline-based reads guarantee a
+// dead peer surfaces as a bridge error instead of a hung TickBatch, so
+// the supervisor always regains control between slices.
+
+// NodeStatus is one server's health in a supervisor report.
+type NodeStatus struct {
+	// Name is the server (or peer partition) name.
+	Name string
+	// Up is false once the component's partition is unreachable.
+	Up bool
+	// LastCycle is the last target cycle the component is known to have
+	// simulated: the horizon for local nodes, the last confirmed token
+	// batch for nodes behind a dead bridge.
+	LastCycle clock.Cycles
+	// Err is the transport error that took the partition down, if any.
+	Err error
+}
+
+// Report summarises a supervised run.
+type Report struct {
+	// Cycle is the local partition's final target cycle.
+	Cycle clock.Cycles
+	// Partial is true when at least one peer partition died and the
+	// results therefore cover only the surviving nodes.
+	Partial bool
+	// Nodes lists per-node status, local nodes first, sorted by name.
+	Nodes []NodeStatus
+}
+
+// String renders the report as a table.
+func (r *Report) String() string {
+	t := stats.NewTable("Node", "Status", "LastCycle", "Error")
+	for _, n := range r.Nodes {
+		status := "up"
+		if !n.Up {
+			status = "DOWN"
+		}
+		errText := ""
+		if n.Err != nil {
+			errText = n.Err.Error()
+		}
+		t.AddRow(n.Name, status, n.LastCycle, errText)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "run to cycle %d (partial=%v)\n", r.Cycle, r.Partial)
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// watchedPeer is one remote partition reached through a bridge.
+type watchedPeer struct {
+	name  string
+	br    *transport.Bridge
+	nodes []string
+	down  bool
+	at    clock.Cycles // local cycle when the failure was detected
+	err   error
+}
+
+// Supervisor drives a local Runner while watching the transport bridges
+// that connect it to remote partitions.
+type Supervisor struct {
+	runner *fame.Runner
+	local  []string
+	peers  []*watchedPeer
+	// CheckEvery is how many target cycles run between bridge health
+	// checks (rounded to whole runner steps; default 4 steps).
+	CheckEvery clock.Cycles
+}
+
+// NewSupervisor wraps a runner with no nodes registered yet.
+func NewSupervisor(r *fame.Runner) *Supervisor {
+	return &Supervisor{runner: r}
+}
+
+// Supervise returns a supervisor for the cluster's runner with every
+// local server pre-registered.
+func (c *Cluster) Supervise() *Supervisor {
+	s := NewSupervisor(c.Runner)
+	for _, n := range c.Servers {
+		s.AddLocal(n.Name())
+	}
+	return s
+}
+
+// AddLocal registers servers simulated by the local runner.
+func (s *Supervisor) AddLocal(names ...string) {
+	s.local = append(s.local, names...)
+}
+
+// Watch registers a bridge to a remote partition and the names of the
+// nodes simulated behind it, so a failure can be attributed in the
+// report. The bridge should be configured with a read timeout (and
+// usually a redial policy): the supervisor can only degrade a peer whose
+// death surfaces as a bridge error.
+func (s *Supervisor) Watch(peerName string, br *transport.Bridge, remoteNodes ...string) {
+	s.peers = append(s.peers, &watchedPeer{name: peerName, br: br, nodes: remoteNodes})
+}
+
+// checkPeers degrades any bridge with a permanent error. It reports
+// whether all peers are still up.
+func (s *Supervisor) checkPeers() bool {
+	allUp := true
+	for _, p := range s.peers {
+		if p.down {
+			allUp = false
+			continue
+		}
+		if err := p.br.Err(); err != nil {
+			p.down = true
+			p.at = s.runner.Cycle()
+			p.err = err
+			p.br.Degrade()
+			allUp = false
+		}
+	}
+	return allUp
+}
+
+// RunTo advances the local partition to the given target cycle (rounded
+// down to whole runner steps), degrading dead peers along the way rather
+// than hanging on them. It returns a per-node report; a peer failure is
+// reported in it, not as an error — only a local runner failure aborts
+// the run.
+func (s *Supervisor) RunTo(horizon clock.Cycles) (*Report, error) {
+	step := s.runner.Step()
+	if step <= 0 {
+		return nil, fmt.Errorf("manager: supervisor: runner has no connected links")
+	}
+	slice := s.CheckEvery
+	if slice < step {
+		slice = 4 * step
+	}
+	slice -= slice % step
+	horizon -= horizon % step
+
+	for s.runner.Cycle() < horizon {
+		n := slice
+		if rem := horizon - s.runner.Cycle(); rem < n {
+			n = rem
+		}
+		if err := s.runner.Run(n); err != nil {
+			return nil, err
+		}
+		s.checkPeers()
+	}
+	s.checkPeers()
+	return s.report(), nil
+}
+
+func (s *Supervisor) report() *Report {
+	r := &Report{Cycle: s.runner.Cycle()}
+	for _, name := range s.local {
+		r.Nodes = append(r.Nodes, NodeStatus{Name: name, Up: true, LastCycle: r.Cycle})
+	}
+	sort.Slice(r.Nodes, func(i, j int) bool { return r.Nodes[i].Name < r.Nodes[j].Name })
+	for _, p := range s.peers {
+		if p.down {
+			r.Partial = true
+		}
+		// The peer's nodes advanced at least to the last batch the bridge
+		// confirmed before the failure.
+		confirmed := clock.Cycles(p.br.Received()) * clock.Cycles(p.br.Step())
+		status := make([]NodeStatus, 0, len(p.nodes))
+		for _, name := range p.nodes {
+			ns := NodeStatus{Name: name, Up: !p.down, LastCycle: r.Cycle}
+			if p.down {
+				ns.LastCycle = confirmed
+				ns.Err = p.err
+			}
+			status = append(status, ns)
+		}
+		sort.Slice(status, func(i, j int) bool { return status[i].Name < status[j].Name })
+		r.Nodes = append(r.Nodes, status...)
+	}
+	return r
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Sample collects scalar observations (typically latencies in
@@ -113,6 +114,56 @@ func (ts *TimeSeries) Points() (times []int64, totals []float64) {
 	}
 	return times, totals
 }
+
+// Counters is a set of named monotonic counters with deterministic
+// (sorted) iteration order, safe for concurrent use. The fault-injection
+// subsystem and the distributed-run supervisor both report through it, so
+// two runs with the same seed render byte-identical counter tables.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta uint64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value (zero if never incremented).
+func (c *Counters) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table renders the counters as a two-column table in name order.
+func (c *Counters) Table() *Table {
+	t := NewTable("Counter", "Value")
+	for _, n := range c.Names() {
+		t.AddRow(n, c.Get(n))
+	}
+	return t
+}
+
+// String renders the counter table.
+func (c *Counters) String() string { return c.Table().String() }
 
 // Table renders fixed-width text tables like the paper's.
 type Table struct {

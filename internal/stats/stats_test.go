@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -159,5 +160,40 @@ func TestTable(t *testing.T) {
 	// All rows should align: same prefix width up to the second column.
 	if len(lines[0]) == 0 || lines[1][0] != '-' {
 		t.Errorf("separator row malformed: %q", lines[1])
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("drops", 3)
+	c.Add("flaps", 1)
+	c.Add("drops", 2)
+	if got := c.Get("drops"); got != 5 {
+		t.Errorf("drops = %d, want 5", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "drops" || names[1] != "flaps" {
+		t.Errorf("Names() = %v, want sorted [drops flaps]", names)
+	}
+	// Concurrent increments must not race or lose counts.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add("par", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("par"); got != 800 {
+		t.Errorf("par = %d, want 800", got)
+	}
+	if !strings.Contains(c.String(), "drops") {
+		t.Error("rendered table missing counter name")
 	}
 }

@@ -139,6 +139,9 @@ type Stats struct {
 	DropsStale      uint64
 	DropsUnroutable uint64
 	BytesSwitched   uint64
+	// StallCycles counts port-cycles on which an installed stall hook
+	// (fault injection) suppressed egress.
+	StallCycles uint64
 }
 
 // pending is the global timestamp-sorted priority queue of routed packets.
@@ -193,6 +196,12 @@ type Switch struct {
 	// absolute cycle, for bandwidth-over-time measurements (Figure 6
 	// samples aggregate bandwidth at the root switch).
 	probe func(cycle clock.Cycles, port int)
+
+	// stall, when non-nil, reports whether an output port is prevented
+	// from releasing a flit at the given cycle (fault injection: a stalled
+	// port backs traffic up into its output buffer, so sustained stalls
+	// surface as DropsBufFull/DropsStale exactly like real congestion).
+	stall func(port int, cycle clock.Cycles) bool
 }
 
 // New builds a switch from cfg, applying defaults for zero values.
@@ -244,6 +253,12 @@ func (s *Switch) Cycle() clock.Cycles { return s.cycle }
 // SetProbe installs a per-released-flit callback for bandwidth
 // measurement.
 func (s *Switch) SetProbe(fn func(cycle clock.Cycles, port int)) { s.probe = fn }
+
+// SetStall installs (or, with nil, removes) a port-stall hook for fault
+// injection. While fn(port, cycle) reports true the port releases nothing;
+// the hook must be a pure function of (port, cycle) to preserve
+// determinism.
+func (s *Switch) SetStall(fn func(port int, cycle clock.Cycles) bool) { s.stall = fn }
 
 // TickBatch implements fame.Endpoint: one full switching round over n
 // target cycles.
@@ -313,6 +328,10 @@ func (s *Switch) releasePort(p int, n int, out *token.Batch) {
 	o := &s.out[p]
 	for i := 0; i < n; i++ {
 		now := s.cycle + clock.Cycles(i)
+		if s.stall != nil && s.stall(p, now) {
+			s.stats.StallCycles++
+			continue
+		}
 		if o.tx == nil {
 			// Try to start a new packet this cycle.
 			for len(o.queue) > 0 {

@@ -146,6 +146,36 @@ func FromDense(toks []Token) *Batch {
 	return b
 }
 
+// Filter removes, in place, every token for which keep returns false. It
+// preserves slot ordering and is the primitive fault injectors use to model
+// link flaps and packet loss without reallocating the batch.
+func (b *Batch) Filter(keep func(offset int, tok Token) bool) {
+	kept := b.Slots[:0]
+	for _, s := range b.Slots {
+		if keep(int(s.Offset), s.Tok) {
+			kept = append(kept, s)
+		}
+	}
+	b.Slots = kept
+}
+
+// Mutate applies fn to every valid token in place. A token returned with
+// Valid cleared is removed from the batch entirely (a dropped cycle), so fn
+// can both corrupt and discard. Offsets cannot be changed — per-cycle
+// ordering is an invariant of the batch.
+func (b *Batch) Mutate(fn func(offset int, tok Token) Token) {
+	kept := b.Slots[:0]
+	for _, s := range b.Slots {
+		t := fn(int(s.Offset), s.Tok)
+		if !t.Valid {
+			continue
+		}
+		s.Tok = t
+		kept = append(kept, s)
+	}
+	b.Slots = kept
+}
+
 // Copy returns a deep copy of the batch. Transports that fan a batch out to
 // multiple consumers must copy, since consumers may retain slot slices.
 func (b *Batch) Copy() *Batch {

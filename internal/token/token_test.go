@@ -201,3 +201,54 @@ func TestQueueOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFilter(t *testing.T) {
+	b := NewBatch(10)
+	for i := 0; i < 10; i += 2 {
+		b.Put(i, Token{Data: uint64(i), Valid: true})
+	}
+	b.Filter(func(offset int, tok Token) bool { return offset != 4 })
+	if b.Occupied() != 4 {
+		t.Fatalf("Filter kept %d slots, want 4", b.Occupied())
+	}
+	if b.At(4).Valid {
+		t.Error("filtered slot still present")
+	}
+	for _, off := range []int{0, 2, 6, 8} {
+		if !b.At(off).Valid || b.At(off).Data != uint64(off) {
+			t.Errorf("slot %d perturbed by Filter: %v", off, b.At(off))
+		}
+	}
+	// Ordering invariant must survive so further Puts work.
+	b2 := NewBatch(4)
+	b2.Filter(func(int, Token) bool { return false })
+	b2.Put(1, Token{Data: 7, Valid: true})
+}
+
+func TestMutate(t *testing.T) {
+	b := NewBatch(8)
+	b.Put(1, Token{Data: 0x10, Valid: true})
+	b.Put(3, Token{Data: 0x30, Valid: true, Last: true})
+	b.Put(5, Token{Data: 0x50, Valid: true})
+	b.Mutate(func(offset int, tok Token) Token {
+		switch offset {
+		case 1:
+			tok.Data ^= 0xff // corrupt
+		case 3:
+			tok.Valid = false // drop
+		}
+		return tok
+	})
+	if got := b.At(1).Data; got != 0x10^0xff {
+		t.Errorf("corrupted token data = %#x, want %#x", got, 0x10^0xff)
+	}
+	if b.At(3).Valid {
+		t.Error("dropped token still present")
+	}
+	if got := b.At(5).Data; got != 0x50 {
+		t.Errorf("untouched token perturbed: %#x", got)
+	}
+	if b.Occupied() != 2 {
+		t.Errorf("Occupied = %d, want 2", b.Occupied())
+	}
+}

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/token"
+)
+
+// encode is a test helper that panics on the (impossible) in-memory
+// write failure.
+func encode(b *token.Batch) []byte {
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, b); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadBatch throws arbitrary byte streams at the batch decoder. The
+// decoder may reject input (corrupt streams must error, never panic), but
+// anything it accepts must round-trip: re-encoding the decoded batch and
+// decoding again yields the identical batch. That property is what lets
+// the bridge trust a decoded frame without further validation.
+func FuzzReadBatch(f *testing.F) {
+	// Seed corpus: an empty batch, a sparse batch, a dense batch, and
+	// truncations/corruptions of a valid frame.
+	f.Add(encode(token.NewBatch(4)))
+	sparse := token.NewBatch(32)
+	sparse.Put(3, token.Token{Data: 0xdeadbeef, Valid: true})
+	sparse.Put(17, token.Token{Data: 1, Valid: true, Last: true})
+	f.Add(encode(sparse))
+	dense := token.NewBatch(8)
+	for i := 0; i < 8; i++ {
+		dense.Put(i, token.Token{Data: uint64(i) << 40, Valid: true})
+	}
+	f.Add(encode(dense))
+	valid := encode(sparse)
+	f.Add(valid[:len(valid)-5]) // truncated mid-slot
+	f.Add(valid[:6])            // truncated mid-header
+	f.Add([]byte{})
+	mangled := append([]byte(nil), valid...)
+	mangled[9] = 0xff // slot offset corruption
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := token.NewBatch(1)
+		if err := ReadBatch(bytes.NewReader(data), got); err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		re := encode(got)
+		got2 := token.NewBatch(1)
+		if err := ReadBatch(bytes.NewReader(re), got2); err != nil {
+			t.Fatalf("re-encoded accepted batch failed to decode: %v", err)
+		}
+		if got.N != got2.N || len(got.Slots) != len(got2.Slots) {
+			t.Fatalf("round-trip changed shape: %+v vs %+v", got, got2)
+		}
+		for i := range got.Slots {
+			if got.Slots[i] != got2.Slots[i] {
+				t.Fatalf("round-trip changed slot %d: %+v vs %+v", i, got.Slots[i], got2.Slots[i])
+			}
+		}
+	})
+}

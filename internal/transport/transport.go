@@ -22,7 +22,6 @@
 package transport
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -74,6 +73,7 @@ func ReadBatch(r io.Reader, dst *token.Batch) error {
 	}
 	dst.Reset(n)
 	var rec [13]byte
+	prev := -1
 	for i := 0; i < count; i++ {
 		if _, err := io.ReadFull(r, rec[:]); err != nil {
 			return fmt.Errorf("transport: read slot: %w", err)
@@ -87,68 +87,24 @@ func ReadBatch(r io.Reader, dst *token.Batch) error {
 		if off < 0 || off >= n {
 			return fmt.Errorf("transport: corrupt slot offset %d", off)
 		}
+		// A well-formed batch stores slots in strictly increasing offset
+		// order; a duplicate or out-of-order offset means the stream is
+		// corrupt. Rejecting it here (rather than letting Put panic or a
+		// later slot shadow an earlier one) keeps corrupt peers from
+		// crashing or silently perturbing the simulation.
+		if off <= prev {
+			return fmt.Errorf("transport: corrupt batch: slot offset %d after %d (duplicate or out of order)", off, prev)
+		}
+		prev = off
+		// WriteBatch only ever emits valid tokens with flag bits 0-1, so
+		// anything else is stream corruption.
+		if rec[12] > 3 || !tok.Valid {
+			return fmt.Errorf("transport: corrupt slot flags %#x at offset %d", rec[12], off)
+		}
 		dst.Put(off, tok)
 	}
 	return nil
 }
 
-// Bridge splices one token stream endpoint of a distributed simulation.
-// It forwards everything received on its single local port to the peer
-// and emits everything the peer sends. Both sides must advance in
-// identical batch steps (guaranteed when both topologies use the same
-// link latencies).
-type Bridge struct {
-	name string
-	w    *bufio.Writer
-	r    *bufio.Reader
-	err  error
-}
-
-// NewBridge wraps a connection. Each side of the distributed simulation
-// creates one Bridge over its end of the connection and Connects it where
-// the remote half of the topology would attach.
-func NewBridge(name string, conn io.ReadWriter) *Bridge {
-	return &Bridge{
-		name: name,
-		w:    bufio.NewWriter(conn),
-		r:    bufio.NewReader(conn),
-	}
-}
-
-// Err reports the first transport error encountered (the simulation
-// cannot continue past one; subsequent batches are empty).
-func (b *Bridge) Err() error { return b.err }
-
-// Name implements fame.Endpoint.
-func (b *Bridge) Name() string { return b.name }
-
-// NumPorts implements fame.Endpoint.
-func (b *Bridge) NumPorts() int { return 1 }
-
-// TickBatch implements fame.Endpoint: ship the local batch and block for
-// the peer's batch covering the same target window. The write runs
-// concurrently with the read so that the exchange cannot deadlock even on
-// fully synchronous connections (both peers write simultaneously).
-func (b *Bridge) TickBatch(n int, in, out []*token.Batch) {
-	if b.err != nil {
-		return
-	}
-	writeDone := make(chan error, 1)
-	go func() {
-		if err := WriteBatch(b.w, in[0]); err != nil {
-			writeDone <- err
-			return
-		}
-		writeDone <- b.w.Flush()
-	}()
-	readErr := ReadBatch(b.r, out[0])
-	writeErr := <-writeDone
-	switch {
-	case writeErr != nil:
-		b.err = writeErr
-	case readErr != nil:
-		b.err = readErr
-	case out[0].N != n:
-		b.err = fmt.Errorf("transport: peer batch covers %d cycles, local step is %d", out[0].N, n)
-	}
-}
+// Bridge, the fame.Endpoint that splices a simulation across hosts over
+// this codec, lives in bridge.go.

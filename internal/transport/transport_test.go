@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"net"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -190,11 +191,15 @@ func TestBridgeStepMismatch(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		// Peer sends a batch of the wrong size.
-		b := token.NewBatch(32)
-		buf := bufWriter{c2}
-		_ = ReadBatch(c2, token.NewBatch(1)) // consume local batch
-		_ = WriteBatch(buf, b)
+		// Peer side runs with a 32-cycle step; local side uses 16. The
+		// handshake must reject the pairing on both ends.
+		peer := NewBridge("peer", c2)
+		in := []*token.Batch{token.NewBatch(32)}
+		out := []*token.Batch{token.NewBatch(32)}
+		peer.TickBatch(32, in, out)
+		if peer.Err() == nil {
+			t.Error("peer did not detect step mismatch")
+		}
 	}()
 	br := NewBridge("br", c1)
 	in := []*token.Batch{token.NewBatch(16)}
@@ -202,13 +207,12 @@ func TestBridgeStepMismatch(t *testing.T) {
 	br.TickBatch(16, in, out)
 	<-done
 	if br.Err() == nil {
-		t.Error("step mismatch not detected")
+		t.Fatal("step mismatch not detected")
+	}
+	if !strings.Contains(br.Err().Error(), "step") {
+		t.Errorf("error %q does not describe the step mismatch", br.Err())
 	}
 }
-
-type bufWriter struct{ w net.Conn }
-
-func (b bufWriter) Write(p []byte) (int, error) { return b.w.Write(p) }
 
 func TestClock(t *testing.T) {
 	// Silence the unused import check for clock while documenting the

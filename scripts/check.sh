@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: static checks, build, and the test suite under the race
+# detector. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
