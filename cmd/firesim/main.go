@@ -9,6 +9,8 @@
 //	firesim deploy   -fanouts 4,8,32 -supernode
 //	firesim ping     -nodes 8 -latency-us 2 -count 10
 //	firesim memcached -threads 5 -qps 135000
+//	firesim bench    -nodes 2,4,8 -out BENCH_fame.json
+//	firesim top      -nodes 8 -format prometheus
 package main
 
 import (
@@ -48,6 +50,10 @@ func main() {
 		err = cmdMemcached(os.Args[2:])
 	case "workload":
 		err = cmdWorkload(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,7 +77,9 @@ commands:
   ping       boot a rack and measure ping RTT between two nodes
   faults     list fault scenarios or preview a deterministic fault schedule
   memcached  run a memcached+mutilate load test on a rack
-  workload   run a reusable workload description on a deployed topology`)
+  workload   run a reusable workload description on a deployed topology
+  bench      measure sim-rate across topology sizes, write BENCH_fame.json
+  top        run an instrumented rack and watch live metrics`)
 }
 
 func parseFanouts(s string) ([]int, error) {

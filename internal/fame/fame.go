@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/token"
 )
 
@@ -146,6 +147,12 @@ type Runner struct {
 	// injector, when non-nil, filters every batch crossing an endpoint
 	// boundary (fault injection).
 	injector Injector
+
+	// metricsReg and metrics carry the optional observability wiring (see
+	// metrics.go). metrics is nil unless EnableMetrics was called, and the
+	// hot loops guard every instrument behind that one nil check.
+	metricsReg *obs.Registry
+	metrics    *runnerMetrics
 
 	// stepOverride, when non-zero, forces a smaller batch step than the
 	// latency GCD (it must divide every link latency). Target behaviour is
@@ -311,6 +318,9 @@ func (r *Runner) build() error {
 		}
 	}
 	r.built = true
+	if r.metricsReg != nil {
+		r.initMetrics()
+	}
 	return nil
 }
 
@@ -318,11 +328,20 @@ func (r *Runner) build() error {
 // the deterministic sequential scheduler. cycles must be a positive
 // multiple of Step (after the first Run, Step is fixed).
 func (r *Runner) Run(cycles clock.Cycles) error {
+	_, err := r.run(cycles)
+	return err
+}
+
+// run is Run plus a wall-time measurement covering only the round loop:
+// topology build and scratch allocation happen before the clock starts,
+// so Measure's reported sim rate is not inflated by setup cost on short
+// runs.
+func (r *Runner) run(cycles clock.Cycles) (time.Duration, error) {
 	if err := r.build(); err != nil {
-		return err
+		return 0, err
 	}
 	if cycles <= 0 || cycles%r.step != 0 {
-		return fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
+		return 0, fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
 	}
 	rounds := cycles / r.step
 	n := int(r.step)
@@ -335,7 +354,16 @@ func (r *Runner) Run(cycles clock.Cycles) error {
 		outs[i] = make([]*token.Batch, e.NumPorts())
 	}
 
+	m := r.metrics
+	start := time.Now()
+	var lastTick time.Time
+	var accRounds, accToks uint64
 	for round := clock.Cycles(0); round < rounds; round++ {
+		sampled := m != nil && round&tickSampleMask == 0
+		if sampled {
+			lastTick = time.Now()
+		}
+		var roundToks uint64
 		for i, e := range r.endpoints {
 			in := ins[i]
 			out := outs[i]
@@ -362,6 +390,30 @@ func (r *Runner) Run(cycles clock.Cycles) error {
 				}
 			}
 			e.TickBatch(n, in, out)
+			if m != nil {
+				var toks uint64
+				for p := range out {
+					if r.outCh[i][p] != nil {
+						toks += uint64(len(out[p].Slots))
+					}
+				}
+				if toks > 0 {
+					m.epTokens[i].Add(toks)
+					roundToks += toks
+				}
+				// Tick timing is sampled (every tickSampleMask+1 rounds) with
+				// chained clock reads: endpoint i's tick is measured from the
+				// previous endpoint's read, so a sampled round costs one
+				// time.Now per endpoint and an unsampled round costs none.
+				// The runner's own bookkeeping between ticks lands in the
+				// next endpoint's bucket — tick times are attribution, and a
+				// sampled round's tick times sum to its wall time.
+				if sampled {
+					now := time.Now()
+					m.tick[i].Observe(uint64(now.Sub(lastTick).Nanoseconds()))
+					lastTick = now
+				}
+			}
 			if inj := r.injector; inj != nil {
 				name := e.Name()
 				for p := range in {
@@ -380,8 +432,23 @@ func (r *Runner) Run(cycles clock.Cycles) error {
 			}
 		}
 		r.cycle += r.step
+		if m != nil {
+			// Heartbeat counters batch locally and flush on sampled rounds:
+			// progress stays externally visible at sample granularity while
+			// quiet rounds touch no shared memory at all.
+			accRounds++
+			accToks += roundToks
+			if sampled {
+				m.flushProgress(&accRounds, &accToks, uint64(r.step), int64(r.cycle))
+			}
+		}
 	}
-	return nil
+	wall := time.Since(start)
+	if m != nil {
+		m.flushProgress(&accRounds, &accToks, uint64(r.step), int64(r.cycle))
+		m.runWall.Add(uint64(wall.Nanoseconds()))
+	}
+	return wall, nil
 }
 
 // RunParallel advances the simulation by the given number of target cycles
@@ -390,14 +457,24 @@ func (r *Runner) Run(cycles clock.Cycles) error {
 // may be simulating different target cycles at the same moment, yet the
 // token protocol guarantees results identical to the sequential scheduler.
 func (r *Runner) RunParallel(cycles clock.Cycles) error {
+	_, err := r.runParallel(cycles)
+	return err
+}
+
+// runParallel is RunParallel plus a wall-time measurement covering only
+// the decoupled round loop: build, pipe construction and the final drain
+// all happen outside the clock, matching what run times for the
+// sequential scheduler.
+func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 	if err := r.build(); err != nil {
-		return err
+		return 0, err
 	}
 	if cycles <= 0 || cycles%r.step != 0 {
-		return fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
+		return 0, fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
 	}
 	rounds := int(cycles / r.step)
 	n := int(r.step)
+	m := r.metrics
 
 	// Build one Go channel per direction per link, seeded from the
 	// persistent channel queues so that Run and RunParallel can be mixed.
@@ -412,16 +489,35 @@ func (r *Runner) RunParallel(cycles clock.Cycles) error {
 				continue
 			}
 			depth := int(ch.latency/r.step) + 1
+			// The free ring must hold every batch that can exist in the
+			// pipe system, or recycled batches are silently dropped and
+			// takeFree allocates fresh replacements forever, defeating the
+			// pool. Batches outside the free ring are bounded by the data
+			// buffer (depth) plus one held by the producer and one by the
+			// consumer; the population only grows when takeFree finds the
+			// ring empty, so it never exceeds depth+3. Sizing the ring to
+			// exactly that bound makes steady-state rounds allocation-free
+			// (asserted by TestParallelSteadyStateAllocs) and drops
+			// impossible; fame_pool_drops_total stays as a tripwire.
 			p := &pipe{
 				data: make(chan *token.Batch, depth),
-				free: make(chan *token.Batch, depth+1),
+				free: make(chan *token.Batch, depth+3),
 			}
 			for _, b := range ch.queue {
 				p.data <- b
 			}
 			ch.queue = ch.queue[:0]
 			for _, b := range ch.free {
-				p.free <- b
+				select {
+				case p.free <- b:
+				default:
+					// More recycled batches than the ring can hold (cannot
+					// happen with the sizing above); let the GC take them
+					// rather than block the seeding loop.
+					if m != nil {
+						m.poolDrops.Inc()
+					}
+				}
 			}
 			ch.free = ch.free[:0]
 			pipes[ch] = p
@@ -433,11 +529,15 @@ func (r *Runner) RunParallel(cycles clock.Cycles) error {
 			b.Reset(n)
 			return b
 		default:
+			if m != nil {
+				m.poolAllocs.Inc()
+			}
 			return token.NewBatch(n)
 		}
 	}
 
 	base := r.cycle
+	start := time.Now()
 	var wg sync.WaitGroup
 	for i, e := range r.endpoints {
 		wg.Add(1)
@@ -453,6 +553,7 @@ func (r *Runner) RunParallel(cycles clock.Cycles) error {
 					localScratch[p] = token.NewBatch(n)
 				}
 			}
+			var hbRounds, accToks uint64
 			for round := 0; round < rounds; round++ {
 				for p := 0; p < np; p++ {
 					if ch := r.inCh[i][p]; ch != nil {
@@ -469,20 +570,50 @@ func (r *Runner) RunParallel(cycles clock.Cycles) error {
 				}
 				if inj := r.injector; inj != nil {
 					name := e.Name()
-					start := base + clock.Cycles(round)*r.step
+					winStart := base + clock.Cycles(round)*r.step
 					for p := 0; p < np; p++ {
 						if r.inCh[i][p] != nil {
-							inj.FilterInput(name, p, start, in[p])
+							inj.FilterInput(name, p, winStart, in[p])
 						}
 					}
 				}
+				// Tick timing samples the same rounds as the sequential
+				// runner, so the two modes' histograms stay comparable. Here
+				// each endpoint times only its own TickBatch (two clock reads
+				// on sampled rounds): pipe-wait time must never pollute the
+				// tick histogram, and there is no cross-endpoint chain to
+				// borrow a read from.
+				sampled := m != nil && round&tickSampleMask == 0
+				var t0 time.Time
+				if sampled {
+					t0 = time.Now()
+				}
 				e.TickBatch(n, in, out)
-				if inj := r.injector; inj != nil {
-					name := e.Name()
-					start := base + clock.Cycles(round)*r.step
+				if sampled {
+					m.tick[i].Observe(uint64(time.Since(t0).Nanoseconds()))
+				}
+				if m != nil {
+					var toks uint64
 					for p := 0; p < np; p++ {
 						if r.outCh[i][p] != nil {
-							inj.FilterOutput(name, p, start, out[p])
+							toks += uint64(len(out[p].Slots))
+						}
+					}
+					if toks > 0 {
+						m.epTokens[i].Add(toks)
+						accToks += toks
+					}
+					if sampled && accToks > 0 {
+						m.tokens.Add(accToks)
+						accToks = 0
+					}
+				}
+				if inj := r.injector; inj != nil {
+					name := e.Name()
+					winStart := base + clock.Cycles(round)*r.step
+					for p := 0; p < np; p++ {
+						if r.outCh[i][p] != nil {
+							inj.FilterOutput(name, p, winStart, out[p])
 						}
 					}
 				}
@@ -494,13 +625,43 @@ func (r *Runner) RunParallel(cycles clock.Cycles) error {
 						select {
 						case pipes[ch].free <- in[p]:
 						default:
+							// Unreachable with the depth+3 ring sizing; the
+							// counter is a regression tripwire.
+							if m != nil {
+								m.poolDrops.Inc()
+							}
 						}
 					}
+				}
+				if m != nil && i == 0 {
+					// Endpoints advance decoupled, so any one of them is an
+					// equally good progress heartbeat; the first endpoint
+					// reports for the group, batching flushes to sampled
+					// rounds like the sequential runner. The gauge is
+					// corrected to the exact final cycle after the barrier
+					// below.
+					hbRounds++
+					if sampled {
+						m.rounds.Add(hbRounds)
+						m.cycles.Add(hbRounds * uint64(r.step))
+						hbRounds = 0
+						m.cycleGauge.Set(int64(base + clock.Cycles(round+1)*r.step))
+					}
+				}
+			}
+			if m != nil {
+				if hbRounds > 0 {
+					m.rounds.Add(hbRounds)
+					m.cycles.Add(hbRounds * uint64(r.step))
+				}
+				if accToks > 0 {
+					m.tokens.Add(accToks)
 				}
 			}
 		}(i, e)
 	}
 	wg.Wait()
+	wall := time.Since(start)
 
 	// Drain channel state back into the persistent queues so a subsequent
 	// Run (sequential) continues seamlessly.
@@ -531,22 +692,32 @@ func (r *Runner) RunParallel(cycles clock.Cycles) error {
 		}
 	}
 	r.cycle += clock.Cycles(rounds) * r.step
-	return nil
+	if m != nil {
+		m.runWall.Add(uint64(wall.Nanoseconds()))
+		m.cycleGauge.Set(int64(r.cycle))
+	}
+	return wall, nil
 }
 
 // Measure runs the simulation for the given target cycles (sequentially or
 // in parallel) and returns the achieved simulation rate, which is how the
 // paper reports performance in Figures 8 and 9.
+//
+// Only the round loop is timed. Topology build, scratch allocation and the
+// parallel runner's pipe construction all happen before the clock starts
+// (and the parallel drain after it stops), so short calibration runs
+// report the same per-cycle cost as long ones instead of folding one-time
+// setup into the rate.
 func (r *Runner) Measure(cycles clock.Cycles, freq clock.Hz, parallel bool) (clock.SimRate, error) {
-	start := time.Now()
+	var wall time.Duration
 	var err error
 	if parallel {
-		err = r.RunParallel(cycles)
+		wall, err = r.runParallel(cycles)
 	} else {
-		err = r.Run(cycles)
+		wall, err = r.run(cycles)
 	}
 	if err != nil {
 		return clock.SimRate{}, err
 	}
-	return clock.SimRate{TargetCycles: cycles, Wall: time.Since(start), TargetFreq: freq}, nil
+	return clock.SimRate{TargetCycles: cycles, Wall: wall, TargetFreq: freq}, nil
 }

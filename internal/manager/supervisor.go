@@ -89,6 +89,8 @@ type Supervisor struct {
 	// CheckEvery is how many target cycles run between bridge health
 	// checks (rounded to whole runner steps; default 4 steps).
 	CheckEvery clock.Cycles
+
+	metrics *supervisorMetrics
 }
 
 // NewSupervisor wraps a runner with no nodes registered yet.
@@ -118,11 +120,21 @@ func (s *Supervisor) AddLocal(names ...string) {
 // death surfaces as a bridge error.
 func (s *Supervisor) Watch(peerName string, br *transport.Bridge, remoteNodes ...string) {
 	s.peers = append(s.peers, &watchedPeer{name: peerName, br: br, nodes: remoteNodes})
+	if m := s.metrics; m != nil {
+		br.EnableMetrics(m.reg)
+		for _, name := range remoteNodes {
+			m.trackNode(name)
+		}
+		m.watched.Set(int64(len(s.peers)))
+	}
 }
 
 // checkPeers degrades any bridge with a permanent error. It reports
 // whether all peers are still up.
 func (s *Supervisor) checkPeers() bool {
+	if m := s.metrics; m != nil {
+		m.checks.Inc()
+	}
 	allUp := true
 	for _, p := range s.peers {
 		if p.down {
@@ -166,8 +178,15 @@ func (s *Supervisor) RunTo(horizon clock.Cycles) (*Report, error) {
 			return nil, err
 		}
 		s.checkPeers()
+		if s.metrics != nil {
+			s.metrics.slices.Inc()
+			s.publishMetrics()
+		}
 	}
 	s.checkPeers()
+	if s.metrics != nil {
+		s.publishMetrics()
+	}
 	return s.report(), nil
 }
 

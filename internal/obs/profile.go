@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles manages optional host-side CPU profiling and execution tracing
+// for a simulation run. The hot-path instruments in this package answer
+// "what is the simulator doing?"; pprof and the execution tracer answer
+// "where is the host spending its time doing it?" — goroutine scheduling
+// stalls in RunParallel show up in the trace, per-endpoint CPU burn in the
+// profile. The CLI wires these behind -cpuprofile and -trace flags.
+//
+// The zero value is inert; call Start with the desired paths, and Stop
+// (usually deferred) to flush and close. Empty paths disable the
+// corresponding collector.
+type Profiles struct {
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// Start begins CPU profiling and/or execution tracing, writing to the
+// given file paths. An empty path disables that collector. On error,
+// anything already started is stopped.
+func (p *Profiles) Start(cpuPath, tracePath string) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			p.Stop()
+			return fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.Stop()
+			return fmt.Errorf("obs: trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return nil
+}
+
+// Stop flushes and closes every collector Start enabled. It is safe to
+// call on a zero Profiles and safe to call more than once.
+func (p *Profiles) Stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		p.traceFile.Close()
+		p.traceFile = nil
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// Each instrument is read atomically; the set as a whole is not a
+// transaction (a concurrent writer may land between two reads), which is
+// the usual and acceptable contract for monitoring data. Field ordering
+// in every rendered form is sorted by metric name, so two snapshots of
+// identical state render byte-identically — the same determinism contract
+// the rest of the repo keeps for its tables.
+type Snapshot struct {
+	// Registry is the name of the registry this snapshot was taken from.
+	Registry string `json:"registry"`
+	// Counters maps metric name to count.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges maps metric name to value.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Histograms maps metric name to distribution summary.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot summarises one histogram's distribution.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	// Buckets lists only the occupied buckets in ascending bound order.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one occupied histogram bucket: Count observations at or
+// below UpperBound (exclusive upper edge of a power-of-two bucket).
+type BucketCount struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// Mean returns the snapshot histogram's mean observation.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot captures the current value of every registered instrument.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{Registry: r.name}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+			for b := 0; b < histBuckets; b++ {
+				if n := h.buckets[b].Load(); n > 0 {
+					hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: bucketUpperBound(b), Count: n})
+				}
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON. encoding/json sorts
+// map keys, so the output is deterministic for identical state.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count series. Metric names that
+// carry an inline label set (built with Label) have the histogram
+// suffixes spliced before the label braces, as the format requires.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		base, _ := splitLabels(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", base, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		base, _ := splitLabels(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", base, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		base, labels := splitLabels(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, joinLabels(labels, fmt.Sprintf("le=\"%d\"", b.UpperBound)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", base, braced(labels), h.Sum, base, braced(labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BaseName strips the inline label set from a metric name: the base of
+// `switch_drops_total{switch="tor0"}` is "switch_drops_total". Callers
+// use it to aggregate one logical metric across label values.
+func BaseName(name string) string {
+	base, _ := splitLabels(name)
+	return base
+}
+
+// splitLabels separates a metric name from its inline label set:
+// `a{b="c"}` becomes ("a", `b="c"`); a bare name returns ("a", "").
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels merges an existing label set with one extra pair and braces
+// the result.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// braced re-wraps a label set in braces, or returns "" for no labels.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// Table renders the snapshot as a fixed-width table in the repo's house
+// style: one row per metric, histograms summarised as count/mean/p99.
+func (s *Snapshot) Table() *stats.Table {
+	t := stats.NewTable("Metric", "Kind", "Value")
+	for _, name := range sortedKeys(s.Counters) {
+		t.AddRow(name, "counter", s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		t.AddRow(name, "gauge", s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		t.AddRow(name, "histogram", fmt.Sprintf("n=%d mean=%.0f p99<=%d", h.Count, h.Mean(), h.p99()))
+	}
+	return t
+}
+
+// p99 returns the 0.99-quantile upper bound from the snapshot buckets.
+func (h HistogramSnapshot) p99() uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(0.99 * float64(h.Count))
+	if target >= h.Count {
+		target = h.Count - 1
+	}
+	var seen uint64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if seen > target {
+			return b.UpperBound
+		}
+	}
+	if n := len(h.Buckets); n > 0 {
+		return h.Buckets[n-1].UpperBound
+	}
+	return 0
+}

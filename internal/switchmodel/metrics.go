@@ -1,0 +1,116 @@
+package switchmodel
+
+import (
+	"repro/internal/obs"
+)
+
+// This file mirrors the switch's per-round counters into the
+// observability layer (internal/obs). The per-flit loops in TickBatch and
+// releasePort are the switch's hot paths, so they are left untouched:
+// publishMetrics runs once per TickBatch, computes the delta since the
+// previous publish from the plain (goroutine-owned) Stats struct, and
+// applies it to the shared atomic instruments. Queue occupancy is
+// published as gauges from the same place.
+//
+// Metric names, labelled with the switch name:
+//
+//	switch_packets_in_total{switch=S}       packets assembled at ingress
+//	switch_packets_out_total{switch=S}      packets fully released
+//	switch_flits_in_total{switch=S}         flits received
+//	switch_flits_out_total{switch=S}        flits released
+//	switch_bytes_total{switch=S}            bytes switched
+//	switch_drops_total{switch=S,reason=R}   drops by reason (buffer|stale|unroutable)
+//	switch_stall_cycles_total{switch=S}     port-cycles suppressed by stall hooks
+//	switch_out_queued_bytes{switch=S}       gauge: bytes queued across output ports
+//	switch_out_queued_packets{switch=S}     gauge: packets queued across output ports
+type switchMetrics struct {
+	packetsIn   *obs.Counter
+	packetsOut  *obs.Counter
+	flitsIn     *obs.Counter
+	flitsOut    *obs.Counter
+	bytes       *obs.Counter
+	dropsBuf    *obs.Counter
+	dropsStale  *obs.Counter
+	dropsUnrt   *obs.Counter
+	stallCycles *obs.Counter
+
+	queuedBytes   *obs.Gauge
+	queuedPackets *obs.Gauge
+
+	last       Stats // counters as of the previous publish
+	lastQBytes int64 // gauge values as of the previous publish
+	lastQPkts  int64
+}
+
+// EnableMetrics attaches the switch to a registry: from the next TickBatch
+// on, the switch_* instruments described in metrics.go track its activity.
+// Passing nil detaches. Like the runner's EnableMetrics, call it between
+// runs, not mid-run.
+func (s *Switch) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		s.metrics = nil
+		return
+	}
+	name := s.cfg.Name
+	label := func(metric string) string { return obs.Label(metric, "switch", name) }
+	dropLabel := func(reason string) string {
+		return "switch_drops_total{switch=\"" + name + "\",reason=\"" + reason + "\"}"
+	}
+	s.metrics = &switchMetrics{
+		packetsIn:     reg.Counter(label("switch_packets_in_total")),
+		packetsOut:    reg.Counter(label("switch_packets_out_total")),
+		flitsIn:       reg.Counter(label("switch_flits_in_total")),
+		flitsOut:      reg.Counter(label("switch_flits_out_total")),
+		bytes:         reg.Counter(label("switch_bytes_total")),
+		dropsBuf:      reg.Counter(dropLabel("buffer")),
+		dropsStale:    reg.Counter(dropLabel("stale")),
+		dropsUnrt:     reg.Counter(dropLabel("unroutable")),
+		stallCycles:   reg.Counter(label("switch_stall_cycles_total")),
+		queuedBytes:   reg.Gauge(label("switch_out_queued_bytes")),
+		queuedPackets: reg.Gauge(label("switch_out_queued_packets")),
+		last:          s.stats,
+	}
+}
+
+// publishMetrics applies the delta since the previous publish to the
+// shared instruments. Called once per TickBatch when metrics are enabled.
+// Atomic RMW ops are the only real cost on this path, so zero deltas and
+// unchanged gauges are skipped entirely — a quiet switch round publishes
+// with no shared-memory traffic at all.
+func (s *Switch) publishMetrics() {
+	m := s.metrics
+	cur := s.stats
+	addDelta := func(c *obs.Counter, cur, last uint64) {
+		if d := cur - last; d != 0 {
+			c.Add(d)
+		}
+	}
+	addDelta(m.packetsIn, cur.PacketsIn, m.last.PacketsIn)
+	addDelta(m.packetsOut, cur.PacketsOut, m.last.PacketsOut)
+	addDelta(m.flitsIn, cur.FlitsIn, m.last.FlitsIn)
+	addDelta(m.flitsOut, cur.FlitsOut, m.last.FlitsOut)
+	addDelta(m.bytes, cur.BytesSwitched, m.last.BytesSwitched)
+	addDelta(m.dropsBuf, cur.DropsBufFull, m.last.DropsBufFull)
+	addDelta(m.dropsStale, cur.DropsStale, m.last.DropsStale)
+	addDelta(m.dropsUnrt, cur.DropsUnroutable, m.last.DropsUnroutable)
+	addDelta(m.stallCycles, cur.StallCycles, m.last.StallCycles)
+	m.last = cur
+
+	var qBytes, qPkts int64
+	for p := range s.out {
+		o := &s.out[p]
+		qBytes += int64(o.queuedBytes)
+		qPkts = qPkts + int64(len(o.queue))
+		if o.tx != nil {
+			qPkts++
+		}
+	}
+	if qBytes != m.lastQBytes {
+		m.queuedBytes.Set(qBytes)
+		m.lastQBytes = qBytes
+	}
+	if qPkts != m.lastQPkts {
+		m.queuedPackets.Set(qPkts)
+		m.lastQPkts = qPkts
+	}
+}

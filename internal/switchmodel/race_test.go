@@ -1,0 +1,99 @@
+package switchmodel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/fame"
+	"repro/internal/obs"
+	"repro/internal/token"
+)
+
+// TestStatsReadDuringParallelRun reads Stats() and Cycle() continuously
+// while a RunParallel is in flight. Before the atomic-publish fix these
+// reads raced with the switch's own goroutine mutating the counters (a
+// torn, and under -race an illegal, read); now they must observe
+// monotonically advancing, internally consistent snapshots. Run under
+// -race (scripts/check.sh does) for the full guarantee.
+func TestStatsReadDuringParallelRun(t *testing.T) {
+	const latency = clock.Cycles(64)
+	r := fame.NewRunner()
+	src := fame.NewSource("src")
+	sink := fame.NewSink("sink")
+	sw := New(Config{Name: "tor", Ports: 2})
+	sw.MACTable().Set(0x0200_0000_0002, 1)
+	r.Add(src)
+	r.Add(sink)
+	r.Add(sw)
+	if err := r.Connect(src, 0, sw, 0, latency); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Connect(sw, 1, sink, 0, latency); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("race")
+	sw.EnableMetrics(reg)
+
+	// Back-to-back 2-flit frames to dst MAC ...:02 for the whole run.
+	for c := int64(0); c < 64*256; c += 2 {
+		src.EmitPacketAt(c, []uint64{0x0040_0200_0000_0002, uint64(c) + 1})
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var lastCycle clock.Cycles
+		var lastFlits uint64
+		for {
+			st := sw.Stats()
+			cy := sw.Cycle()
+			if cy < lastCycle {
+				t.Errorf("Cycle went backwards: %d after %d", cy, lastCycle)
+				return
+			}
+			if st.FlitsIn < lastFlits {
+				t.Errorf("FlitsIn went backwards: %d after %d", st.FlitsIn, lastFlits)
+				return
+			}
+			if st.FlitsOut > st.FlitsIn {
+				t.Errorf("torn snapshot: FlitsOut %d > FlitsIn %d", st.FlitsOut, st.FlitsIn)
+				return
+			}
+			lastCycle, lastFlits = cy, st.FlitsIn
+			// Concurrent registry snapshots must also be race-free.
+			_ = reg.Snapshot()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	if err := r.RunParallel(latency * 256); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	st := sw.Stats()
+	if st.FlitsIn == 0 || st.PacketsOut == 0 {
+		t.Fatalf("no traffic flowed: %+v", st)
+	}
+	if got := sw.Cycle(); got != latency*256 {
+		t.Errorf("final Cycle = %d, want %d", got, latency*256)
+	}
+	// The obs mirror must agree exactly with the final Stats snapshot.
+	s := reg.Snapshot()
+	if got := s.Counters[obs.Label("switch_flits_in_total", "switch", "tor")]; got != st.FlitsIn {
+		t.Errorf("obs flits_in = %d, Stats = %d", got, st.FlitsIn)
+	}
+	if got := s.Counters[obs.Label("switch_packets_out_total", "switch", "tor")]; got != st.PacketsOut {
+		t.Errorf("obs packets_out = %d, Stats = %d", got, st.PacketsOut)
+	}
+}
+
+var _ = token.Empty

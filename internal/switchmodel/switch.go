@@ -29,6 +29,7 @@ package switchmodel
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/clock"
 	"repro/internal/ethernet"
@@ -190,7 +191,18 @@ type Switch struct {
 	out   []outPort
 	queue pending
 
-	stats Stats
+	// stats is owned by the ticking goroutine; readers go through the
+	// atomically published copies below, so Stats() and Cycle() are safe
+	// to call concurrently with an in-flight RunParallel (the runner runs
+	// each endpoint, this switch included, on its own goroutine).
+	stats    Stats
+	pubStats atomic.Pointer[Stats]
+	pubCycle atomic.Int64
+
+	// metrics, when non-nil, mirrors the switch counters into the
+	// observability registry at the end of every TickBatch (see
+	// publishMetrics); the per-flit hot loops stay untouched.
+	metrics *switchMetrics
 
 	// probe, when non-nil, is called once per released flit with the
 	// absolute cycle, for bandwidth-over-time measurements (Figure 6
@@ -244,11 +256,22 @@ func (s *Switch) MACTable() *MACTableRouter {
 	return r
 }
 
-// Stats returns a snapshot of the switch counters.
-func (s *Switch) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the switch counters as of the most recently
+// completed TickBatch. It reads an atomically published copy, so it is
+// safe to call from any goroutine while a parallel run is in flight —
+// the snapshot is always internally consistent (whole-round granularity),
+// never a torn mid-round view.
+func (s *Switch) Stats() Stats {
+	if p := s.pubStats.Load(); p != nil {
+		return *p
+	}
+	return Stats{}
+}
 
-// Cycle returns the switch's current target cycle.
-func (s *Switch) Cycle() clock.Cycles { return s.cycle }
+// Cycle returns the switch's target cycle as of the most recently
+// completed TickBatch. Like Stats, it is safe concurrently with a
+// parallel run.
+func (s *Switch) Cycle() clock.Cycles { return clock.Cycles(s.pubCycle.Load()) }
 
 // SetProbe installs a per-released-flit callback for bandwidth
 // measurement.
@@ -322,6 +345,15 @@ func (s *Switch) TickBatch(n int, in, out []*token.Batch) {
 		s.releasePort(p, n, out[p])
 	}
 	s.cycle += clock.Cycles(n)
+
+	// Publish this round's counters for concurrent readers: one copy and
+	// two atomic stores per round, nothing per flit.
+	snap := s.stats
+	s.pubStats.Store(&snap)
+	s.pubCycle.Store(int64(s.cycle))
+	if s.metrics != nil {
+		s.publishMetrics()
+	}
 }
 
 func (s *Switch) releasePort(p int, n int, out *token.Batch) {

@@ -134,6 +134,10 @@ type Bridge struct {
 
 	reconnects int // total successful reconnects, for reports
 	scratch    token.Batch
+
+	// metrics, when non-nil, exports the recovery ledger and wire volume
+	// to the observability layer (see metrics.go).
+	metrics *bridgeMetrics
 }
 
 // NewBridge wraps a connection with the default (blocking, non-reconnecting)
@@ -189,6 +193,9 @@ func (b *Bridge) Degrade() {
 	if b.err == nil {
 		b.err = ErrDegraded
 	}
+	if m := b.metrics; m != nil {
+		m.degraded.Set(1)
+	}
 	b.closeConn()
 }
 
@@ -208,6 +215,9 @@ func (b *Bridge) NumPorts() int { return 1 }
 func (b *Bridge) fail(err error) {
 	if b.err == nil {
 		b.err = fmt.Errorf("transport: bridge %q: %w", b.name, err)
+		if m := b.metrics; m != nil {
+			m.errors.Inc()
+		}
 	}
 }
 
@@ -308,6 +318,10 @@ func (b *Bridge) handshake(step int) error {
 	if ph := binary.BigEndian.Uint64(peer[16:24]); ph != 0 && b.cfg.TopologyHash != 0 && ph != b.cfg.TopologyHash {
 		return errNonRetryable{fmt.Errorf("handshake: topology hash %#x, local %#x (the two halves describe different targets)", ph, b.cfg.TopologyHash)}
 	}
+	if m := b.metrics; m != nil {
+		m.bytesSent.Add(helloSize)
+		m.bytesRecv.Add(helloSize)
+	}
 	resume := binary.BigEndian.Uint64(peer[24:32])
 	// resume may legitimately be nextSend+1: the peer committed our
 	// in-flight batch but its acknowledgment (the peer's own batch) was
@@ -353,6 +367,10 @@ func (b *Bridge) ringPut(seq uint64, batch *token.Batch) {
 // unbuffered connections.
 func (b *Bridge) exchange(n int, in, out *token.Batch) error {
 	cur := b.nextSend
+	if m := b.metrics; m != nil && b.resendLow < cur {
+		m.resyncs.Inc()
+		m.resentFrames.Add(cur - b.resendLow)
+	}
 	b.armWriteDeadline()
 	writeDone := make(chan error, 1)
 	go func() {
@@ -407,6 +425,11 @@ func (b *Bridge) exchange(n int, in, out *token.Batch) error {
 	b.nextSend = cur + 1
 	b.resendLow = b.nextSend
 	b.nextRecv++
+	if m := b.metrics; m != nil {
+		m.batchesSent.Inc()
+		m.batchesRecv.Inc()
+		m.bytesRecv.Add(frameWireBytes(len(out.Slots)))
+	}
 	return nil
 }
 
@@ -430,7 +453,14 @@ func (b *Bridge) readExpected(out *token.Batch) error {
 			if err := ReadBatch(b.r, &b.scratch); err != nil {
 				return err
 			}
+			if m := b.metrics; m != nil {
+				m.dupFrames.Inc()
+				m.bytesRecv.Add(frameWireBytes(len(b.scratch.Slots)))
+			}
 		default:
+			if m := b.metrics; m != nil {
+				m.seqGaps.Inc()
+			}
 			return errNonRetryable{fmt.Errorf("sequence gap: got batch %d, expected %d", seq, b.nextRecv)}
 		}
 	}
@@ -442,7 +472,13 @@ func (b *Bridge) writeFrame(seq uint64, batch *token.Batch) error {
 	if _, err := b.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	return WriteBatch(b.w, batch)
+	if err := WriteBatch(b.w, batch); err != nil {
+		return err
+	}
+	if m := b.metrics; m != nil {
+		m.bytesSent.Add(frameWireBytes(len(batch.Slots)))
+	}
+	return nil
 }
 
 // reconnect tears down the current connection and redials with
@@ -478,6 +514,9 @@ func (b *Bridge) reconnect(step int) bool {
 			continue
 		}
 		b.reconnects++
+		if m := b.metrics; m != nil {
+			m.reconnects.Inc()
+		}
 		return true
 	}
 	return false

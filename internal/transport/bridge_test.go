@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/token"
 )
 
@@ -277,6 +278,8 @@ func TestBridgeReconnectResync(t *testing.T) {
 	cfgB.Redial = accept
 	brA := NewBridgeConfig("A", connA, cfgA)
 	brB := NewBridgeConfig("B", connB, cfgB)
+	reg := obs.NewRegistry("resync")
+	brA.EnableMetrics(reg)
 
 	const rounds = 10
 	const n = 16
@@ -332,5 +335,13 @@ func TestBridgeReconnectResync(t *testing.T) {
 	}
 	if got := brB.Received(); got != rounds {
 		t.Errorf("B received %d batches, want %d", got, rounds)
+	}
+	// The obs mirror must agree with the bridge's own recovery ledger.
+	s := reg.Snapshot()
+	if got := s.Counters[obs.Label("transport_reconnects_total", "bridge", "A")]; got != uint64(brA.Reconnects()) {
+		t.Errorf("obs reconnects = %d, Reconnects() = %d", got, brA.Reconnects())
+	}
+	if got := s.Counters[obs.Label("transport_batches_recv_total", "bridge", "A")]; got != rounds {
+		t.Errorf("obs batches_recv = %d, want %d", got, rounds)
 	}
 }

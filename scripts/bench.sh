@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Measure sim-rate across topology sizes (Run vs RunParallel, with and
+# without metrics) and write BENCH_fame.json at the repo root. Extra
+# arguments pass straight through to `firesim bench`, e.g.:
+#
+#   scripts/bench.sh -nodes 2,4,8,16 -rounds 4096
+#
+# Overhead numbers are medians of interleaved A/B reps; on a busy host
+# the small topologies still jitter by a few percent, so prefer the
+# 8-node row (and the controlled Go benchmark below) when quoting the
+# metrics cost:
+#
+#   go test -run - -bench DeployedRun ./internal/manager/
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/firesim bench -out BENCH_fame.json "$@"

@@ -13,4 +13,9 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke =="
+# One tiny topology, one rep: proves `firesim bench` still runs end to end
+# and emits parseable JSON. Real numbers come from scripts/bench.sh.
+go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 1 -out "$(mktemp)" >/dev/null
+
 echo "OK"
