@@ -11,6 +11,7 @@
 //	firesim memcached -threads 5 -qps 135000
 //	firesim bench    -nodes 2,4,8 -out BENCH_fame.json
 //	firesim top      -nodes 8 -format prometheus
+//	firesim snap     verify -nodes 4 -cycles 65536 -extra 65536
 package main
 
 import (
@@ -54,6 +55,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "top":
 		err = cmdTop(os.Args[2:])
+	case "snap":
+		err = cmdSnap(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -79,7 +82,8 @@ commands:
   memcached  run a memcached+mutilate load test on a rack
   workload   run a reusable workload description on a deployed topology
   bench      measure sim-rate across topology sizes, write BENCH_fame.json
-  top        run an instrumented rack and watch live metrics`)
+  top        run an instrumented rack and watch live metrics
+  snap       checkpoint/restore a cluster (save, restore, inspect, verify)`)
 }
 
 func parseFanouts(s string) ([]int, error) {

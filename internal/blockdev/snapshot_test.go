@@ -1,0 +1,32 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/snaptest"
+)
+
+func TestDeviceSnapshotConformance(t *testing.T) {
+	mem := newFakeMem()
+	d := New(DefaultConfig(), mem)
+	d.WriteSector(3, bytes.Repeat([]byte{0x11}, SectorBytes))
+	d.WriteSector(900, bytes.Repeat([]byte{0x22}, SectorBytes))
+	// Dispatch a device-to-memory transfer and tick partway through so a
+	// tracker is busy at save time.
+	d.MMIOStore(RegAddr, 0x2000)
+	d.MMIOStore(RegSector, 3)
+	d.MMIOStore(RegNSectors, 1)
+	d.MMIOStore(RegWrite, 0)
+	d.MMIOStore(RegIntrEn, 1)
+	if id := d.MMIOLoad(0, RegAlloc); id == NoTracker {
+		t.Fatal("no tracker allocated")
+	}
+	for i := 0; i < 100; i++ {
+		d.Tick(0)
+	}
+	snaptest.RoundTrip(t, d, func() snapshot.Snapshotter {
+		return New(DefaultConfig(), newFakeMem())
+	})
+}

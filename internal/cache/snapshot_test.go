@@ -1,0 +1,49 @@
+package cache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/snaptest"
+)
+
+func TestCacheSnapshotConformance(t *testing.T) {
+	c, _ := newTestCache()
+	// Mix of reads and writes across enough lines to force evictions, so
+	// tags, dirty bits and LRU counters are all populated.
+	now := clock.Cycles(0)
+	for i := 0; i < 64; i++ {
+		now = c.Access(now, uint64(i*64%2048), i%3 == 0)
+	}
+	snaptest.RoundTrip(t, c, func() snapshot.Snapshotter {
+		f, _ := newTestCache()
+		return f
+	})
+}
+
+func TestCacheRestoreRejectsGeometryMismatch(t *testing.T) {
+	c, _ := newTestCache()
+	c.Access(0, 0x40, true)
+	data := snaptest.Save(t, c)
+
+	other := New(Config{Name: "big", SizeBytes: 2048, LineBytes: 64, Ways: 2, HitLatency: 2}, &fakeMem{latency: 100})
+	err := restoreInto(other, data)
+	if err == nil || !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("restore into mismatched geometry: err = %v", err)
+	}
+}
+
+// restoreInto mirrors snaptest's framing for error-path assertions.
+func restoreInto(dst snapshot.Snapshotter, stream []byte) error {
+	r, _, err := snapshot.NewReader(bytes.NewReader(stream))
+	if err != nil {
+		return err
+	}
+	if _, err := r.Next(); err != nil {
+		return err
+	}
+	return dst.Restore(r)
+}

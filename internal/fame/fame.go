@@ -91,7 +91,7 @@ type portRef struct {
 // latency/step empty batches before the simulation starts.
 type channel struct {
 	latency clock.Cycles
-	queue   []*token.Batch // FIFO of batches in flight
+	queue   batchRing      // FIFO of batches in flight
 	free    []*token.Batch // recycled batch storage
 }
 
@@ -105,14 +105,9 @@ func (c *channel) take(n int) *token.Batch {
 	return token.NewBatch(n)
 }
 
-func (c *channel) push(b *token.Batch) { c.queue = append(c.queue, b) }
+func (c *channel) push(b *token.Batch) { c.queue.push(b) }
 
-func (c *channel) pop() *token.Batch {
-	b := c.queue[0]
-	copy(c.queue, c.queue[1:])
-	c.queue = c.queue[:len(c.queue)-1]
-	return b
-}
+func (c *channel) pop() *token.Batch { return c.queue.pop() }
 
 func (c *channel) recycle(b *token.Batch) { c.free = append(c.free, b) }
 
@@ -503,10 +498,9 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 				data: make(chan *token.Batch, depth),
 				free: make(chan *token.Batch, depth+3),
 			}
-			for _, b := range ch.queue {
-				p.data <- b
+			for ch.queue.len() > 0 {
+				p.data <- ch.queue.pop()
 			}
-			ch.queue = ch.queue[:0]
 			for _, b := range ch.free {
 				select {
 				case p.free <- b:

@@ -1,0 +1,52 @@
+package fame
+
+import "repro/internal/token"
+
+// batchRing is a growable FIFO of token batches backed by a power-of-two
+// ring. channel.pop used to copy-shift a slice, making each pop O(queue
+// length); with latency/step batches in flight, a high-latency link paid
+// O(n) per round just shuffling pointers. The ring pops in O(1) and only
+// allocates when the in-flight population grows, which in steady state is
+// never.
+type batchRing struct {
+	buf  []*token.Batch
+	head int
+	n    int
+}
+
+func (r *batchRing) len() int { return r.n }
+
+// at returns the i-th oldest batch without removing it (checkpoint reads
+// the in-flight queue in FIFO order without disturbing it).
+func (r *batchRing) at(i int) *token.Batch {
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+func (r *batchRing) push(b *token.Batch) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = b
+	r.n++
+}
+
+func (r *batchRing) pop() *token.Batch {
+	b := r.buf[r.head]
+	r.buf[r.head] = nil // drop the reference so recycled batches can be GC'd
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return b
+}
+
+func (r *batchRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]*token.Batch, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.at(i)
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,174 @@
+package fame
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/snapshot"
+)
+
+// Save checkpoints the runner's own state: the current target cycle and
+// every in-flight token batch. The topology itself (endpoints, links,
+// latencies) is not serialised — a restore target is expected to have been
+// rebuilt from the same configuration, and Restore verifies the structural
+// facts it can see (step, per-link latency, channel layout).
+//
+// Channels are walked in endpoint-then-port order, which is construction
+// order and therefore deterministic; the in-flight queue of each channel
+// is written oldest-first. At a batch boundary every channel holds exactly
+// latency/step batches (the steady-state population the links were seeded
+// with), and Save enforces that before writing anything.
+func (r *Runner) Save(w *snapshot.Writer) error {
+	if err := r.build(); err != nil {
+		return err
+	}
+	w.Begin("fame.Runner", 1)
+	w.U64(uint64(r.step))
+	w.U64(uint64(r.cycle))
+	var nch uint64
+	for i := range r.endpoints {
+		for _, ch := range r.outCh[i] {
+			if ch != nil {
+				nch++
+			}
+		}
+	}
+	w.Uvarint(nch)
+	for i := range r.endpoints {
+		for p, ch := range r.outCh[i] {
+			if ch == nil {
+				continue
+			}
+			want := int(ch.latency / r.step)
+			if ch.queue.len() != want {
+				return fmt.Errorf("fame: channel %q port %d holds %d batches, want %d (checkpoint only at batch boundaries)",
+					r.endpoints[i].Name(), p, ch.queue.len(), want)
+			}
+			w.Uvarint(uint64(i))
+			w.Uvarint(uint64(p))
+			w.U64(uint64(ch.latency))
+			for k := 0; k < ch.queue.len(); k++ {
+				if err := ch.queue.at(k).Save(w); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return w.Err()
+}
+
+// Restore overwrites the runner's cycle and in-flight batches from r. The
+// runner must already hold the same topology the checkpoint was taken
+// from; step, channel placement and per-link latency are all verified.
+func (r *Runner) Restore(rd *snapshot.Reader) error {
+	if err := r.build(); err != nil {
+		return err
+	}
+	if err := rd.Begin("fame.Runner", 1); err != nil {
+		return err
+	}
+	step := clock.Cycles(rd.U64())
+	cycle := clock.Cycles(rd.U64())
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if step != r.step {
+		return fmt.Errorf("fame: checkpoint step %d, runner step %d", step, r.step)
+	}
+	var want uint64
+	for i := range r.endpoints {
+		for _, ch := range r.outCh[i] {
+			if ch != nil {
+				want++
+			}
+		}
+	}
+	nch := rd.Uvarint()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if nch != want {
+		return fmt.Errorf("fame: checkpoint has %d channels, topology has %d", nch, want)
+	}
+	seen := make(map[*channel]bool, nch)
+	for c := uint64(0); c < nch; c++ {
+		ep := int(rd.Uvarint())
+		port := int(rd.Uvarint())
+		lat := clock.Cycles(rd.U64())
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if ep < 0 || ep >= len(r.endpoints) || port < 0 || port >= len(r.outCh[ep]) || r.outCh[ep][port] == nil {
+			return fmt.Errorf("fame: checkpoint channel (endpoint %d, port %d) not present in topology", ep, port)
+		}
+		ch := r.outCh[ep][port]
+		if seen[ch] {
+			return fmt.Errorf("fame: checkpoint repeats channel (endpoint %d, port %d)", ep, port)
+		}
+		seen[ch] = true
+		if ch.latency != lat {
+			return fmt.Errorf("fame: checkpoint latency %d for %q port %d, topology has %d",
+				lat, r.endpoints[ep].Name(), port, ch.latency)
+		}
+		// Replace the current in-flight population (recycling its storage)
+		// with the checkpointed batches, oldest first.
+		depth := int(lat / r.step)
+		for ch.queue.len() > 0 {
+			ch.recycle(ch.queue.pop())
+		}
+		for k := 0; k < depth; k++ {
+			b := ch.take(int(r.step))
+			if err := b.Restore(rd); err != nil {
+				ch.recycle(b)
+				return err
+			}
+			if b.N != int(r.step) {
+				return fmt.Errorf("fame: checkpoint batch window %d, step is %d", b.N, r.step)
+			}
+			ch.push(b)
+		}
+	}
+	r.cycle = cycle
+	return nil
+}
+
+// Save implements snapshot.Snapshotter for Multiplex by delegating to its
+// children in pipeline order. Multiplex itself holds no mutable state.
+func (m *Multiplex) Save(w *snapshot.Writer) error {
+	w.Begin("fame.Multiplex", 1)
+	w.Uvarint(uint64(len(m.children)))
+	for _, c := range m.children {
+		s, ok := c.(snapshot.Snapshotter)
+		if !ok {
+			return fmt.Errorf("fame: multiplex child %q is not snapshottable", c.Name())
+		}
+		if err := s.Save(w); err != nil {
+			return err
+		}
+	}
+	return w.Err()
+}
+
+// Restore implements snapshot.Snapshotter for Multiplex.
+func (m *Multiplex) Restore(r *snapshot.Reader) error {
+	if err := r.Begin("fame.Multiplex", 1); err != nil {
+		return err
+	}
+	n := r.Count(len(m.children))
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(m.children) {
+		return fmt.Errorf("fame: checkpoint has %d multiplex children, topology has %d", n, len(m.children))
+	}
+	for _, c := range m.children {
+		s, ok := c.(snapshot.Snapshotter)
+		if !ok {
+			return fmt.Errorf("fame: multiplex child %q is not snapshottable", c.Name())
+		}
+		if err := s.Restore(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

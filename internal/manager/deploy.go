@@ -3,6 +3,7 @@ package manager
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"repro/internal/clock"
 	"repro/internal/ethernet"
@@ -68,6 +69,10 @@ type Cluster struct {
 	// Faults is the deterministic fault schedule wired into this
 	// simulation, or nil when fault injection is disabled.
 	Faults *faults.Plan
+	// TopoHash is the structural identity of this deployment (see
+	// TopologyHash); checkpoints carry it so a restore into a different
+	// target is refused.
+	TopoHash uint64
 
 	byName map[string]*softstack.Node
 }
@@ -75,25 +80,40 @@ type Cluster struct {
 // NodeByName returns the named server, or nil.
 func (c *Cluster) NodeByName(name string) *softstack.Node { return c.byName[name] }
 
-// RunFor advances the whole simulation by the given target cycles
-// (rounded down to a whole number of batches).
+// RunFor advances the whole simulation by at least the given number of
+// target cycles, rounded up to a whole number of batches (the runner can
+// only advance in Step()-sized quanta). Asking for zero or negative
+// cycles is a caller bug and errors instead of silently doing nothing.
 func (c *Cluster) RunFor(cycles clock.Cycles) error {
-	cycles -= cycles % c.Runner.Step()
 	if cycles <= 0 {
-		return nil
+		return fmt.Errorf("manager: RunFor(%d): cycle count must be positive", cycles)
+	}
+	step := c.Runner.Step()
+	if rem := cycles % step; rem != 0 {
+		cycles += step - rem
 	}
 	return c.Runner.Run(cycles)
 }
 
-// RunUntil advances in linkLatency steps until pred returns true or
-// maxCycles elapse, reporting whether pred was satisfied.
+// RunUntil advances in strides of four batches until pred returns true
+// or maxCycles elapse, reporting whether pred was satisfied. The final
+// stride is clamped so the simulation never advances past maxCycles.
 func (c *Cluster) RunUntil(pred func() bool, maxCycles clock.Cycles) (bool, error) {
-	step := c.Runner.Step() * 4
+	step := c.Runner.Step()
+	stride := step * 4
 	for c.Runner.Cycle() < maxCycles {
 		if pred() {
 			return true, nil
 		}
-		if err := c.Runner.Run(step); err != nil {
+		rem := maxCycles - c.Runner.Cycle()
+		n := stride
+		if n > rem {
+			n = rem - rem%step
+			if n <= 0 {
+				break
+			}
+		}
+		if err := c.Runner.Run(n); err != nil {
 			return false, err
 		}
 	}
@@ -135,6 +155,7 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 		node *softstack.Node
 	}
 	servers := make(map[*ServerNode]*serverInst)
+	var ordered []*serverInst // assignment (depth-first) order
 	var macs []ethernet.MAC
 	arp := make(map[ethernet.IP]ethernet.MAC)
 	idx := 0
@@ -163,7 +184,9 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 				Costs: cfg.Costs,
 				Seed:  cfg.Seed + uint64(idx)*0x9e37,
 			})
-			servers[v] = &serverInst{spec: v, node: node}
+			si := &serverInst{spec: v, node: node}
+			servers[v] = si
+			ordered = append(ordered, si)
 			macs = append(macs, mac)
 			arp[ip] = mac
 			idx++
@@ -171,10 +194,18 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 	}
 	assign(root)
 
+	// Seed static ARP in a fixed order (nodes in assignment order, entries
+	// by ascending IP) rather than by map iteration, so every Deploy of
+	// the same topology performs the identical sequence of operations.
 	if !cfg.DisableStaticARP {
-		for _, si := range servers {
-			for ip, mac := range arp {
-				si.node.LearnARP(ip, mac)
+		ips := make([]ethernet.IP, 0, len(arp))
+		for ip := range arp {
+			ips = append(ips, ip)
+		}
+		sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+		for _, si := range ordered {
+			for _, ip := range ips {
+				si.node.LearnARP(ip, arp[ip])
 			}
 		}
 	}
@@ -340,6 +371,8 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 	}
 
 	c.Deployment = planDeployment(root, cfg.Supernode)
+	// Hash after passes 1 and 2 so auto-assigned names are included.
+	c.TopoHash = TopologyHash(root, cfg)
 	return c, nil
 }
 

@@ -220,11 +220,47 @@ func TestRunForRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.RunFor(1234); err != nil { // rounds down to 1200
+	if err := c.RunFor(1234); err != nil { // rounds up to 1300
 		t.Fatal(err)
 	}
-	if got := c.Runner.Cycle(); got != 1200 {
-		t.Errorf("Cycle = %d, want 1200", got)
+	if got := c.Runner.Cycle(); got != 1300 {
+		t.Errorf("Cycle = %d, want 1300", got)
+	}
+	// Sub-batch requests advance a whole batch rather than silently
+	// doing nothing.
+	if err := c.RunFor(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Runner.Cycle(); got != 1400 {
+		t.Errorf("Cycle after RunFor(1) = %d, want 1400", got)
+	}
+	// Zero and negative cycle counts are caller bugs, not no-ops.
+	if err := c.RunFor(0); err == nil {
+		t.Error("RunFor(0) succeeded, want error")
+	}
+	if err := c.RunFor(-5); err == nil {
+		t.Error("RunFor(-5) succeeded, want error")
+	}
+}
+
+func TestRunUntilStopsAtMaxCycles(t *testing.T) {
+	root := NewSwitchNode("root")
+	root.AddDownlinks(NewServerNode("a", SingleCore), NewServerNode("b", SingleCore))
+	c, err := Deploy(root, DeployConfig{LinkLatency: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unsatisfiable predicate must stop at (not past) the horizon even
+	// when the horizon is not a multiple of the 4-batch stride.
+	ok, err := c.RunUntil(func() bool { return false }, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("pred reported satisfied")
+	}
+	if got := c.Runner.Cycle(); got != 500 {
+		t.Errorf("Cycle = %d, want exactly 500", got)
 	}
 }
 

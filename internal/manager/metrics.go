@@ -17,6 +17,7 @@ import (
 //
 //	manager_slices_total             run slices completed by RunTo
 //	manager_checks_total             bridge health sweeps performed
+//	manager_recoveries_total         peers revived from a checkpoint
 //	manager_local_cycle              gauge: local partition target cycle
 //	manager_peers_watched            gauge: bridges under supervision
 //	manager_peers_down               gauge: peers degraded so far
@@ -26,6 +27,7 @@ type supervisorMetrics struct {
 	reg        *obs.Registry
 	slices     *obs.Counter
 	checks     *obs.Counter
+	recoveries *obs.Counter
 	localCycle *obs.Gauge
 	watched    *obs.Gauge
 	down       *obs.Gauge
@@ -48,6 +50,7 @@ func (s *Supervisor) EnableMetrics(reg *obs.Registry) {
 		reg:        reg,
 		slices:     reg.Counter("manager_slices_total"),
 		checks:     reg.Counter("manager_checks_total"),
+		recoveries: reg.Counter("manager_recoveries_total"),
 		localCycle: reg.Gauge("manager_local_cycle"),
 		watched:    reg.Gauge("manager_peers_watched"),
 		down:       reg.Gauge("manager_peers_down"),

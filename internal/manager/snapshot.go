@@ -1,0 +1,153 @@
+// Whole-cluster checkpoint/restore. A checkpoint is a snapshot stream
+// whose header carries the deployment's topology hash and the runner's
+// cycle/step, followed by one section per stateful component: the token
+// runner ("runner"), every server node ("node/<name>") and every switch
+// ("switch/<name>"). Restoring requires a cluster deployed from the same
+// topology and config — the hash check refuses anything else — and
+// replaces simulation state wholesale, so a restored cluster re-runs
+// bit-identically to the original.
+package manager
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+
+	"repro/internal/snapshot"
+)
+
+// Checkpoint writes the cluster's complete simulation state to w. All
+// nodes must be quiescent (no in-flight kernel events); if one is not,
+// the error says which. Checkpoints are only defined at batch boundaries,
+// which every Run/RunFor call leaves the cluster at.
+func (c *Cluster) Checkpoint(w io.Writer) error {
+	sw, err := snapshot.NewWriter(w, snapshot.Header{
+		TopologyHash: c.TopoHash,
+		Cycle:        uint64(c.Runner.Cycle()),
+		Step:         uint64(c.Runner.Step()),
+	})
+	if err != nil {
+		return err
+	}
+	sw.Section("runner")
+	if err := c.Runner.Save(sw); err != nil {
+		return err
+	}
+	for _, n := range c.Servers {
+		sw.Section("node/" + n.Name())
+		if err := n.Save(sw); err != nil {
+			return err
+		}
+	}
+	for _, s := range c.Switches {
+		sw.Section("switch/" + s.Name())
+		if err := s.Save(sw); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// RestoreState overwrites this cluster's simulation state from a
+// checkpoint stream. The cluster must already be deployed from the same
+// topology and config; the topology hash in the header is checked before
+// anything is touched. Every component present in the cluster must have a
+// section in the stream and vice versa.
+func (c *Cluster) RestoreState(src io.Reader) error {
+	r, h, err := snapshot.NewReader(src)
+	if err != nil {
+		return err
+	}
+	if h.TopologyHash != c.TopoHash {
+		return fmt.Errorf("manager: checkpoint topology hash %#x does not match deployed %#x", h.TopologyHash, c.TopoHash)
+	}
+	if h.Step != uint64(c.Runner.Step()) {
+		return fmt.Errorf("manager: checkpoint step %d does not match runner step %d", h.Step, c.Runner.Step())
+	}
+	restored := make(map[string]bool)
+	for {
+		name, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if restored[name] {
+			return fmt.Errorf("manager: checkpoint has duplicate section %q", name)
+		}
+		switch {
+		case name == "runner":
+			if err := c.Runner.Restore(r); err != nil {
+				return err
+			}
+		case strings.HasPrefix(name, "node/"):
+			n := c.NodeByName(strings.TrimPrefix(name, "node/"))
+			if n == nil {
+				return fmt.Errorf("manager: checkpoint section %q has no matching node", name)
+			}
+			if err := n.Restore(r); err != nil {
+				return err
+			}
+		case strings.HasPrefix(name, "switch/"):
+			want := strings.TrimPrefix(name, "switch/")
+			found := false
+			for _, s := range c.Switches {
+				if s.Name() == want {
+					if err := s.Restore(r); err != nil {
+						return err
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("manager: checkpoint section %q has no matching switch", name)
+			}
+		default:
+			return fmt.Errorf("manager: checkpoint has unknown section %q", name)
+		}
+		restored[name] = true
+	}
+	if !restored["runner"] {
+		return fmt.Errorf("manager: checkpoint missing runner section")
+	}
+	for _, n := range c.Servers {
+		if !restored["node/"+n.Name()] {
+			return fmt.Errorf("manager: checkpoint missing node %q", n.Name())
+		}
+	}
+	for _, s := range c.Switches {
+		if !restored["switch/"+s.Name()] {
+			return fmt.Errorf("manager: checkpoint missing switch %q", s.Name())
+		}
+	}
+	return nil
+}
+
+// RestoreCluster deploys the topology and then loads the checkpoint into
+// it: the one-call path from a saved stream back to a runnable cluster.
+// root and cfg must describe the same deployment that produced the
+// checkpoint (applications re-register their handlers on the fresh nodes
+// before resuming, exactly as on a cold start).
+func RestoreCluster(src io.Reader, root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
+	c, err := Deploy(root, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.RestoreState(src); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// StateHash digests the full checkpoint stream into 64 bits — a cheap
+// whole-simulation fingerprint for determinism checks.
+func (c *Cluster) StateHash() (uint64, error) {
+	h := fnv.New64a()
+	if err := c.Checkpoint(h); err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
+}

@@ -1,7 +1,9 @@
 package manager
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -46,6 +48,10 @@ type Report struct {
 	// Partial is true when at least one peer partition died and the
 	// results therefore cover only the surviving nodes.
 	Partial bool
+	// Recoveries counts peers revived from a checkpoint mid-run (see
+	// EnableRecovery). A recovered peer is not Partial: the run completed
+	// with full coverage, it just rewound along the way.
+	Recoveries int
 	// Nodes lists per-node status, local nodes first, sorted by name.
 	Nodes []NodeStatus
 }
@@ -80,6 +86,49 @@ type watchedPeer struct {
 	err   error
 }
 
+// RecoveryConfig turns permanent peer loss into checkpoint-based
+// recovery: instead of degrading a dead peer's bridge and finishing with
+// partial results, the supervisor rewinds the local partition to its last
+// checkpoint, asks the caller to respawn the peer at that cycle, and
+// resumes the run with full coverage.
+//
+// The scheme assumes symmetric checkpoint cadence: the peer harness must
+// retain its own partition checkpoints at (at least) the same Every
+// interval, because Respawn is asked for a cycle the supervisor chose
+// from its local history.
+type RecoveryConfig struct {
+	// Save writes the local partition's checkpoint (typically
+	// Cluster.Checkpoint). It is called at batch boundaries; if the
+	// partition is momentarily non-quiescent the checkpoint is skipped
+	// and retried next interval.
+	Save func(w io.Writer) error
+	// Restore rewinds the local partition from a stream Save produced
+	// (typically Cluster.RestoreState).
+	Restore func(r io.Reader) error
+	// Every is the checkpoint interval in target cycles (rounded to whole
+	// runner steps).
+	Every clock.Cycles
+	// History is how many checkpoints to retain (default 4). Older ones
+	// are discarded; recovery picks the newest usable one.
+	History int
+	// Respawn brings the named peer partition back up at exactly the
+	// given cycle and returns the new connection. The respawned peer must
+	// resume its token stream at batch cycle/step — its bridge side
+	// starts from that sequence number (transport.Bridge.Reset) — and its
+	// partition state must be restored from the peer's own checkpoint at
+	// that cycle.
+	Respawn func(peer string, cycle clock.Cycles) (io.ReadWriter, error)
+	// MaxRecoveries bounds recovery attempts per run (default 2); beyond
+	// it a dead peer degrades as without recovery.
+	MaxRecoveries int
+}
+
+// supCheckpoint is one retained local checkpoint.
+type supCheckpoint struct {
+	cycle clock.Cycles
+	data  []byte
+}
+
 // Supervisor drives a local Runner while watching the transport bridges
 // that connect it to remote partitions.
 type Supervisor struct {
@@ -89,6 +138,11 @@ type Supervisor struct {
 	// CheckEvery is how many target cycles run between bridge health
 	// checks (rounded to whole runner steps; default 4 steps).
 	CheckEvery clock.Cycles
+
+	recovery   *RecoveryConfig
+	ckpts      []supCheckpoint
+	lastCkpt   clock.Cycles
+	recoveries int
 
 	metrics *supervisorMetrics
 }
@@ -129,8 +183,101 @@ func (s *Supervisor) Watch(peerName string, br *transport.Bridge, remoteNodes ..
 	}
 }
 
-// checkPeers degrades any bridge with a permanent error. It reports
-// whether all peers are still up.
+// EnableRecovery arms checkpoint-based peer recovery for subsequent
+// RunTo calls.
+func (s *Supervisor) EnableRecovery(cfg RecoveryConfig) error {
+	if cfg.Save == nil || cfg.Restore == nil || cfg.Respawn == nil {
+		return fmt.Errorf("manager: supervisor recovery needs Save, Restore and Respawn")
+	}
+	if cfg.Every <= 0 {
+		return fmt.Errorf("manager: supervisor recovery interval must be positive")
+	}
+	if cfg.History <= 0 {
+		cfg.History = 4
+	}
+	if cfg.MaxRecoveries <= 0 {
+		cfg.MaxRecoveries = 2
+	}
+	s.recovery = &cfg
+	return nil
+}
+
+// saveCheckpoint captures the local partition if it is currently
+// checkpointable; a non-quiescent partition is skipped (the previous
+// checkpoint stays usable and the next interval retries).
+func (s *Supervisor) saveCheckpoint() {
+	var buf bytes.Buffer
+	if err := s.recovery.Save(&buf); err != nil {
+		return
+	}
+	s.ckpts = append(s.ckpts, supCheckpoint{cycle: s.runner.Cycle(), data: buf.Bytes()})
+	if n := len(s.ckpts); n > s.recovery.History {
+		s.ckpts = append(s.ckpts[:0], s.ckpts[n-s.recovery.History:]...)
+	}
+	s.lastCkpt = s.runner.Cycle()
+}
+
+// tryRecover attempts to revive a failing peer from the checkpoint
+// history instead of degrading it. On success the local partition has
+// been rewound, the peer respawned at the same cycle, and the bridge
+// reset onto the new connection.
+func (s *Supervisor) tryRecover(p *watchedPeer) bool {
+	rec := s.recovery
+	if rec == nil || s.recoveries >= rec.MaxRecoveries || len(s.ckpts) == 0 {
+		return false
+	}
+	// Rewinding the local partition rewinds its token streams to every
+	// peer, so recovery is only sound when the failing peer is the only
+	// one — healthy peers would desync. Multi-peer recovery would need a
+	// coordinated rewind protocol; degrade instead.
+	if len(s.peers) > 1 {
+		return false
+	}
+	step := s.runner.Step()
+	// The peer completed (at least) the window before the last batch it
+	// sent us; rewind to a checkpoint it can provably match.
+	var peerComplete clock.Cycles
+	if n := p.br.Received(); n > 0 {
+		peerComplete = clock.Cycles(n-1) * step
+	}
+	var ck *supCheckpoint
+	for i := len(s.ckpts) - 1; i >= 0; i-- {
+		if s.ckpts[i].cycle <= peerComplete {
+			ck = &s.ckpts[i]
+			break
+		}
+	}
+	if ck == nil {
+		return false
+	}
+	// Respawn first: if the peer cannot come back, local state is
+	// untouched and the caller still gets the degraded-peer behaviour.
+	conn, err := rec.Respawn(p.name, ck.cycle)
+	if err != nil || conn == nil {
+		return false
+	}
+	if err := rec.Restore(bytes.NewReader(ck.data)); err != nil {
+		return false
+	}
+	p.br.Reset(conn, uint64(ck.cycle/step))
+	s.recoveries++
+	if m := s.metrics; m != nil {
+		m.recoveries.Inc()
+	}
+	// Checkpoints after the rewind point belong to the abandoned timeline.
+	kept := s.ckpts[:0]
+	for _, c := range s.ckpts {
+		if c.cycle <= ck.cycle {
+			kept = append(kept, c)
+		}
+	}
+	s.ckpts = kept
+	s.lastCkpt = ck.cycle
+	return true
+}
+
+// checkPeers recovers or degrades any bridge with a permanent error. It
+// reports whether all peers are still up.
 func (s *Supervisor) checkPeers() bool {
 	if m := s.metrics; m != nil {
 		m.checks.Inc()
@@ -142,6 +289,9 @@ func (s *Supervisor) checkPeers() bool {
 			continue
 		}
 		if err := p.br.Err(); err != nil {
+			if s.tryRecover(p) {
+				continue
+			}
 			p.down = true
 			p.at = s.runner.Cycle()
 			p.err = err
@@ -169,6 +319,11 @@ func (s *Supervisor) RunTo(horizon clock.Cycles) (*Report, error) {
 	slice -= slice % step
 	horizon -= horizon % step
 
+	if s.recovery != nil && len(s.ckpts) == 0 {
+		// Baseline checkpoint: even a peer that dies in the first interval
+		// can be recovered by restarting both partitions from here.
+		s.saveCheckpoint()
+	}
 	for s.runner.Cycle() < horizon {
 		n := slice
 		if rem := horizon - s.runner.Cycle(); rem < n {
@@ -178,6 +333,9 @@ func (s *Supervisor) RunTo(horizon clock.Cycles) (*Report, error) {
 			return nil, err
 		}
 		s.checkPeers()
+		if rec := s.recovery; rec != nil && s.runner.Cycle()-s.lastCkpt >= rec.Every {
+			s.saveCheckpoint()
+		}
 		if s.metrics != nil {
 			s.metrics.slices.Inc()
 			s.publishMetrics()
@@ -191,7 +349,7 @@ func (s *Supervisor) RunTo(horizon clock.Cycles) (*Report, error) {
 }
 
 func (s *Supervisor) report() *Report {
-	r := &Report{Cycle: s.runner.Cycle()}
+	r := &Report{Cycle: s.runner.Cycle(), Recoveries: s.recoveries}
 	for _, name := range s.local {
 		r.Nodes = append(r.Nodes, NodeStatus{Name: name, Up: true, LastCycle: r.Cycle})
 	}

@@ -1,0 +1,343 @@
+package manager
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/fame"
+	"repro/internal/snapshot"
+	"repro/internal/softstack"
+	"repro/internal/transport"
+)
+
+// savePartition and restorePartition checkpoint one half of a two-host
+// distributed run: the partition's runner (in-flight token batches) plus
+// its single node. This is the shape Cluster.Checkpoint has for a full
+// deployment, reduced to what a hand-built partition needs.
+func savePartition(r *fame.Runner, n *softstack.Node) func(io.Writer) error {
+	return func(dst io.Writer) error {
+		w, err := snapshot.NewWriter(dst, snapshot.Header{
+			Cycle: uint64(r.Cycle()),
+			Step:  uint64(r.Step()),
+		})
+		if err != nil {
+			return err
+		}
+		w.Section("runner")
+		if err := r.Save(w); err != nil {
+			return err
+		}
+		w.Section("node/" + n.Name())
+		if err := n.Save(w); err != nil {
+			return err
+		}
+		return w.Close()
+	}
+}
+
+func restorePartition(r *fame.Runner, n *softstack.Node) func(io.Reader) error {
+	return func(src io.Reader) error {
+		rd, _, err := snapshot.NewReader(src)
+		if err != nil {
+			return err
+		}
+		for {
+			name, err := rd.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			switch name {
+			case "runner":
+				err = r.Restore(rd)
+			case "node/" + n.Name():
+				err = n.Restore(rd)
+			default:
+				err = fmt.Errorf("unexpected section %q", name)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// peerHost stands in for the remote machine: it retains its own partition
+// checkpoints at the supervisor's cadence (the symmetric-cadence
+// assumption RecoveryConfig documents), so a Respawn request for cycle C
+// can actually be honoured.
+type peerHost struct {
+	mu    sync.Mutex
+	ckpts map[clock.Cycles][]byte
+}
+
+func (h *peerHost) put(cycle clock.Cycles, data []byte) {
+	h.mu.Lock()
+	h.ckpts[cycle] = data
+	h.mu.Unlock()
+}
+
+func (h *peerHost) get(cycle clock.Cycles) []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ckpts[cycle]
+}
+
+// run simulates node b from resumeCycle to horizon, checkpointing every
+// `every` cycles. dieAfter >= 0 kills the host (closes the connection)
+// after that many steps; -1 runs to completion. A non-nil resume stream
+// restores the partition and rewinds the bridge sequence to match — the
+// respawned-peer half of the recovery contract.
+func (h *peerHost) run(t *testing.T, wg *sync.WaitGroup, conn io.ReadWriter,
+	linkLat, every, horizon clock.Cycles, resume []byte, resumeCycle clock.Cycles, dieAfter int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b := softstack.NewNode(softstack.Config{Name: "b", MAC: 0x2, IP: 0x0a000002})
+		br := transport.NewBridge("bridge-b", conn)
+		r := fame.NewRunner()
+		r.Add(b)
+		r.Add(br)
+		if err := r.Connect(b, 0, br, 0, linkLat); err != nil {
+			panic(err)
+		}
+		if resume != nil {
+			if err := restorePartition(r, b)(bytes.NewReader(resume)); err != nil {
+				panic(fmt.Sprintf("peer restore at cycle %d: %v", resumeCycle, err))
+			}
+			br.Reset(conn, uint64(resumeCycle/linkLat))
+		} else {
+			b.StartRawStream(0, 0x1, 256, 1.0, 1<<20)
+		}
+		save := func() {
+			var buf bytes.Buffer
+			if err := savePartition(r, b)(&buf); err != nil {
+				panic(fmt.Sprintf("peer checkpoint at cycle %d: %v", r.Cycle(), err))
+			}
+			h.put(r.Cycle(), buf.Bytes())
+		}
+		save()
+		steps := 0
+		for r.Cycle() < horizon {
+			if dieAfter >= 0 && steps >= dieAfter {
+				if c, ok := conn.(io.Closer); ok {
+					c.Close()
+				}
+				return
+			}
+			if err := r.Run(linkLat); err != nil {
+				return
+			}
+			steps++
+			if r.Cycle()%every == 0 {
+				save()
+			}
+		}
+	}()
+}
+
+// recoveryOutcome is what one end-to-end scenario run produces: the
+// supervisor's report, the surviving bridge, node a's final statistics
+// and the local partition's final checkpoint bytes.
+type recoveryOutcome struct {
+	rep     *Report
+	br      *transport.Bridge
+	stats   softstack.Stats
+	final   []byte
+	respawn []clock.Cycles
+}
+
+// runRecoveryScenario drives a two-partition simulation (node a local,
+// node b behind a bridge on a goroutine "host") to the horizon. When die
+// is true the peer host is killed after 6 steps and the supervisor's
+// checkpoint recovery must bring it back; otherwise it is the undisturbed
+// control run the recovered one is compared against.
+func runRecoveryScenario(t *testing.T, die bool) recoveryOutcome {
+	const linkLat = clock.Cycles(3200)
+	const every = 4 * linkLat
+	const horizon = 16 * linkLat
+
+	host := &peerHost{ckpts: make(map[clock.Cycles][]byte)}
+	var wg sync.WaitGroup
+	c1, c2 := net.Pipe()
+	dieAfter := -1
+	if die {
+		dieAfter = 6
+	}
+	host.run(t, &wg, c2, linkLat, every, horizon, nil, 0, dieAfter)
+
+	a := softstack.NewNode(softstack.Config{Name: "a", MAC: 0x1, IP: 0x0a000001})
+	a.StartRawStream(0, 0x2, 256, 1.0, 1<<20)
+	br := transport.NewBridgeConfig("to-host-b", c1, transport.BridgeConfig{
+		ReadTimeout:  100 * time.Millisecond,
+		WriteTimeout: 100 * time.Millisecond,
+	})
+	r := fame.NewRunner()
+	r.Add(a)
+	r.Add(br)
+	if err := r.Connect(a, 0, br, 0, linkLat); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSupervisor(r)
+	s.AddLocal("a")
+	s.Watch("host-b", br, "b")
+	var respawns []clock.Cycles
+	err := s.EnableRecovery(RecoveryConfig{
+		Save:    savePartition(r, a),
+		Restore: restorePartition(r, a),
+		Every:   every,
+		Respawn: func(peer string, cycle clock.Cycles) (io.ReadWriter, error) {
+			if peer != "host-b" {
+				return nil, fmt.Errorf("asked to respawn unknown peer %q", peer)
+			}
+			data := host.get(cycle)
+			if data == nil {
+				return nil, fmt.Errorf("peer host has no checkpoint at cycle %d", cycle)
+			}
+			respawns = append(respawns, cycle)
+			d1, d2 := net.Pipe()
+			host.run(t, &wg, d2, linkLat, every, horizon, data, cycle, -1)
+			return d1, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.RunTo(horizon)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	var final bytes.Buffer
+	if err := savePartition(r, a)(&final); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	return recoveryOutcome{rep: rep, br: br, stats: a.Stats(), final: final.Bytes(), respawn: respawns}
+}
+
+// TestSupervisorRecoversDeadPeer is the recovery acceptance test: the
+// peer host dies mid-run, and instead of degrading it for good the
+// supervisor rewinds to its last checkpoint, respawns the peer from the
+// peer's own checkpoint at that cycle, resets the bridge sequence, and
+// completes the run with full coverage. The recovered run's final local
+// state must be bit-identical to an undisturbed run.
+func TestSupervisorRecoversDeadPeer(t *testing.T) {
+	const linkLat = clock.Cycles(3200)
+	const horizon = 16 * linkLat
+
+	control := runRecoveryScenario(t, false)
+	if control.rep.Partial {
+		t.Fatal("control run flagged partial")
+	}
+	if len(control.respawn) != 0 {
+		t.Fatalf("control run respawned peers: %v", control.respawn)
+	}
+
+	got := runRecoveryScenario(t, true)
+	if got.rep.Cycle != horizon {
+		t.Errorf("recovered run stopped at cycle %d, want %d", got.rep.Cycle, horizon)
+	}
+	if got.rep.Partial {
+		t.Error("recovered run flagged partial: peer loss was not healed")
+	}
+	if got.rep.Recoveries != 1 {
+		t.Errorf("report counts %d recoveries, want 1", got.rep.Recoveries)
+	}
+	if got.br.Degraded() {
+		t.Error("bridge degraded despite successful recovery")
+	}
+	if err := got.br.Err(); err != nil {
+		t.Errorf("bridge error after recovery: %v", err)
+	}
+	// The peer died after 6 steps; the newest checkpoint it provably
+	// completed is at 4 steps (the shared 4-step cadence), so that is the
+	// cycle both sides must have rewound to.
+	if want := []clock.Cycles{4 * linkLat}; len(got.respawn) != 1 || got.respawn[0] != want[0] {
+		t.Errorf("respawn cycles = %v, want %v", got.respawn, want)
+	}
+	for _, ns := range got.rep.Nodes {
+		if !ns.Up || ns.LastCycle != horizon {
+			t.Errorf("node status %+v, want up at cycle %d", ns, horizon)
+		}
+	}
+	if got.stats != control.stats {
+		t.Errorf("node a stats diverged after recovery: %+v vs control %+v", got.stats, control.stats)
+	}
+	if !bytes.Equal(got.final, control.final) {
+		t.Errorf("final partition state diverged after recovery (%d vs %d bytes)",
+			len(got.final), len(control.final))
+	}
+}
+
+// TestSupervisorRecoveryExhausted: when the peer host cannot come back
+// (Respawn keeps failing), recovery falls through to the degraded-peer
+// behaviour — the run still completes, flagged partial.
+func TestSupervisorRecoveryExhausted(t *testing.T) {
+	const linkLat = clock.Cycles(3200)
+	const every = 4 * linkLat
+	const horizon = 16 * linkLat
+
+	host := &peerHost{ckpts: make(map[clock.Cycles][]byte)}
+	var wg sync.WaitGroup
+	c1, c2 := net.Pipe()
+	host.run(t, &wg, c2, linkLat, every, horizon, nil, 0, 6)
+
+	a := softstack.NewNode(softstack.Config{Name: "a", MAC: 0x1, IP: 0x0a000001})
+	a.StartRawStream(0, 0x2, 256, 1.0, 1<<20)
+	br := transport.NewBridgeConfig("to-host-b", c1, transport.BridgeConfig{
+		ReadTimeout:  100 * time.Millisecond,
+		WriteTimeout: 100 * time.Millisecond,
+	})
+	r := fame.NewRunner()
+	r.Add(a)
+	r.Add(br)
+	if err := r.Connect(a, 0, br, 0, linkLat); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSupervisor(r)
+	s.AddLocal("a")
+	s.Watch("host-b", br, "b")
+	attempts := 0
+	err := s.EnableRecovery(RecoveryConfig{
+		Save:    savePartition(r, a),
+		Restore: restorePartition(r, a),
+		Every:   every,
+		Respawn: func(string, clock.Cycles) (io.ReadWriter, error) {
+			attempts++
+			return nil, fmt.Errorf("host is gone for good")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunTo(horizon)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if attempts == 0 {
+		t.Error("recovery never attempted a respawn")
+	}
+	if rep.Cycle != horizon {
+		t.Errorf("surviving partition stopped at cycle %d, want %d", rep.Cycle, horizon)
+	}
+	if !rep.Partial {
+		t.Error("unrecoverable peer not flagged partial")
+	}
+	if rep.Recoveries != 0 {
+		t.Errorf("report counts %d recoveries, want 0", rep.Recoveries)
+	}
+	if !br.Degraded() {
+		t.Error("unrecoverable peer's bridge was not degraded")
+	}
+}

@@ -1,0 +1,89 @@
+package riscv
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/snapshot"
+)
+
+// Save serialises the hart's full architectural and micro-architectural
+// state: register file, PC, machine-mode CSRs, cycle counter, halt/WFI
+// flags and the retirement counters. The bus and timing model are
+// configuration, re-established by whoever rebuilds the SoC.
+func (c *CPU) Save(w *snapshot.Writer) error {
+	w.Begin("riscv.CPU", 1)
+	for _, x := range c.X {
+		w.U64(x)
+	}
+	w.U64(c.PC)
+	w.U64(c.MStatus)
+	w.U64(c.MIE)
+	w.U64(c.MIP)
+	w.U64(c.MTVec)
+	w.U64(c.MEPC)
+	w.U64(c.MCause)
+	w.U64(c.MScratch)
+	w.U64(c.HartID)
+	w.U64(uint64(c.Cycle))
+	w.Bool(c.Halted)
+	w.Bool(c.WaitingForInterrupt)
+	w.U64(c.stats.Instret)
+	w.U64(c.stats.Loads)
+	w.U64(c.stats.Stores)
+	w.U64(c.stats.Branches)
+	w.U64(c.stats.Traps)
+	return w.Err()
+}
+
+// Restore overwrites the hart's state from r. X[0] staying hardwired to
+// zero is the one invariant worth checking; everything else is plain
+// data.
+func (c *CPU) Restore(r *snapshot.Reader) error {
+	if err := r.Begin("riscv.CPU", 1); err != nil {
+		return err
+	}
+	var x [32]uint64
+	for i := range x {
+		x[i] = r.U64()
+	}
+	pc := r.U64()
+	mstatus := r.U64()
+	mie := r.U64()
+	mip := r.U64()
+	mtvec := r.U64()
+	mepc := r.U64()
+	mcause := r.U64()
+	mscratch := r.U64()
+	hartID := r.U64()
+	cycle := r.U64()
+	halted := r.Bool()
+	wfi := r.Bool()
+	var stats Stats
+	stats.Instret = r.U64()
+	stats.Loads = r.U64()
+	stats.Stores = r.U64()
+	stats.Branches = r.U64()
+	stats.Traps = r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if x[0] != 0 {
+		return fmt.Errorf("riscv: restored x0 = %#x, must be zero", x[0])
+	}
+	c.X = x
+	c.PC = pc
+	c.MStatus = mstatus
+	c.MIE = mie
+	c.MIP = mip
+	c.MTVec = mtvec
+	c.MEPC = mepc
+	c.MCause = mcause
+	c.MScratch = mscratch
+	c.HartID = hartID
+	c.Cycle = clock.Cycles(cycle)
+	c.Halted = halted
+	c.WaitingForInterrupt = wfi
+	c.stats = stats
+	return nil
+}

@@ -1,0 +1,64 @@
+package riscv
+
+import (
+	"testing"
+
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/snaptest"
+)
+
+func TestCPUSnapshotConformance(t *testing.T) {
+	// A non-terminating counting loop leaves the CPU mid-flight with
+	// non-trivial register, PC and counter state.
+	a := NewAsm()
+	a.LI(A0, 0)
+	a.LI(T0, 1)
+	a.Label("loop")
+	a.ADD(A0, A0, T0)
+	a.ADDI(T0, T0, 1)
+	a.J("loop")
+
+	bus := newFlatBus(1 << 16)
+	bus.loadProgram(a.MustAssemble())
+	cpu := New(bus, 3, 0)
+	for i := 0; i < 100; i++ {
+		cpu.Cycle += cpu.Step()
+	}
+	snaptest.RoundTrip(t, cpu, func() snapshot.Snapshotter {
+		fb := newFlatBus(1 << 16)
+		fb.loadProgram(a.MustAssemble())
+		return New(fb, 3, 0)
+	})
+}
+
+func TestCPURestoreResumesExecution(t *testing.T) {
+	// Checkpoint mid-loop, restore into a fresh CPU over an identical bus,
+	// run both sides further: architectural state must stay identical.
+	a := NewAsm()
+	a.LI(A0, 0)
+	a.LI(T0, 1)
+	a.Label("loop")
+	a.ADD(A0, A0, T0)
+	a.ADDI(T0, T0, 1)
+	a.J("loop")
+
+	mk := func() *CPU {
+		bus := newFlatBus(1 << 16)
+		bus.loadProgram(a.MustAssemble())
+		return New(bus, 0, 0)
+	}
+	orig := mk()
+	for i := 0; i < 57; i++ {
+		orig.Cycle += orig.Step()
+	}
+	data := snaptest.Save(t, orig)
+	clone := mk()
+	snaptest.Restore(t, clone, data)
+	for i := 0; i < 91; i++ {
+		orig.Cycle += orig.Step()
+		clone.Cycle += clone.Step()
+	}
+	if orig.PC != clone.PC || orig.X != clone.X || orig.Cycle != clone.Cycle {
+		t.Errorf("diverged after restore: pc %#x vs %#x, cycle %d vs %d", orig.PC, clone.PC, orig.Cycle, clone.Cycle)
+	}
+}

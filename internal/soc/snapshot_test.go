@@ -1,0 +1,68 @@
+package soc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/riscv"
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/snaptest"
+	"repro/internal/token"
+)
+
+// tickCycles drives a standalone SoC for a fixed cycle count.
+func tickCycles(s *SoC, cycles int) {
+	const step = 256
+	in := []*token.Batch{token.NewBatch(step)}
+	out := []*token.Batch{token.NewBatch(step)}
+	for c := 0; c < cycles; c += step {
+		out[0].Reset(step)
+		s.TickBatch(step, in, out)
+	}
+}
+
+func TestSoCSnapshotConformance(t *testing.T) {
+	// A program that prints to the UART and then counts forever in DRAM,
+	// so console, caches, DRAM and CPU state are all live mid-run.
+	a := riscv.NewAsm()
+	a.LI64(riscv.T0, UARTBase)
+	for _, ch := range "ck\n" {
+		a.LI(riscv.T1, int32(ch))
+		a.SB(riscv.T1, riscv.T0, 0)
+	}
+	a.LI64(riscv.T0, DRAMBase+0x1000)
+	a.LI(riscv.T1, 0)
+	a.Label("loop")
+	a.ADDI(riscv.T1, riscv.T1, 1)
+	a.SD(riscv.T1, riscv.T0, 0)
+	a.J("loop")
+
+	cfg := Config{Name: "n0", Cores: 2, MAC: 0x5}
+	s := mustSoC(t, cfg, a)
+	tickCycles(s, 4096)
+	snaptest.RoundTrip(t, s, func() snapshot.Snapshotter {
+		return mustSoC(t, cfg, a)
+	})
+}
+
+func TestSoCRestoredBladeContinuesIdentically(t *testing.T) {
+	a := riscv.NewAsm()
+	a.LI64(riscv.T0, DRAMBase+0x2000)
+	a.LI(riscv.T1, 0)
+	a.Label("loop")
+	a.ADDI(riscv.T1, riscv.T1, 1)
+	a.SD(riscv.T1, riscv.T0, 0)
+	a.J("loop")
+
+	cfg := Config{Name: "n0", Cores: 1, MAC: 0x6}
+	orig := mustSoC(t, cfg, a)
+	tickCycles(orig, 2048)
+	data := snaptest.Save(t, orig)
+	clone := mustSoC(t, cfg, a)
+	snaptest.Restore(t, clone, data)
+	tickCycles(orig, 2048)
+	tickCycles(clone, 2048)
+	if !bytes.Equal(snaptest.Save(t, clone), snaptest.Save(t, orig)) {
+		t.Fatal("restored blade diverged from original after identical ticks")
+	}
+}

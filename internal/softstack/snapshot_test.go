@@ -1,0 +1,80 @@
+package softstack
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/snaptest"
+	"repro/internal/token"
+)
+
+func tickNode(n *Node, cycles int) {
+	const step = 64
+	in := []*token.Batch{token.NewBatch(step)}
+	out := []*token.Batch{token.NewBatch(step)}
+	for c := 0; c < cycles; c += step {
+		out[0].Reset(step)
+		n.TickBatch(step, in, out)
+	}
+}
+
+func TestNodeSnapshotConformance(t *testing.T) {
+	mk := func() *Node {
+		return NewNode(Config{Name: "n0", MAC: 0x11, IP: 0x0a000001, Cores: 2, Seed: 7,
+			StaticARP: map[ethernet.IP]ethernet.MAC{0x0a000002: 0x22}})
+	}
+	n := mk()
+	// A raw stream is pure data-plane state: the generator, TX queue and
+	// counters populate without scheduling any kernel events, so the node
+	// stays quiescent and checkpointable mid-stream.
+	n.StartRawStream(10, 0x22, 200, 1.0, 100_000)
+	tickNode(n, 512)
+	if err := n.Quiescent(); err != nil {
+		t.Fatalf("raw stream broke quiescence: %v", err)
+	}
+	snaptest.RoundTrip(t, n, func() snapshot.Snapshotter { return mk() })
+}
+
+func TestNodeSaveRefusesPendingEvents(t *testing.T) {
+	a := NewNode(Config{Name: "a", MAC: 1, IP: 1, Cores: 1})
+	a.Ping(5, 2, 1, 100, nil)
+	tickNode(a, 64)
+	err := snapshotErr(a)
+	if err == nil || !strings.Contains(err.Error(), "a") {
+		t.Fatalf("Save with ping in flight: err = %v", err)
+	}
+}
+
+func TestNodeRestoreRejectsCoreMismatch(t *testing.T) {
+	n := NewNode(Config{Name: "n", MAC: 1, IP: 1, Cores: 2})
+	data := snaptest.Save(t, n)
+	other := NewNode(Config{Name: "n", MAC: 1, IP: 1, Cores: 4})
+	r, _, err := snapshot.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	err = other.Restore(r)
+	if err == nil || !strings.Contains(err.Error(), "cores") {
+		t.Fatalf("restore into 4-core node from 2-core checkpoint: err = %v", err)
+	}
+}
+
+func snapshotErr(n *Node) error {
+	var sink discard
+	w, err := snapshot.NewWriter(&sink, snapshot.Header{Step: 8})
+	if err != nil {
+		return err
+	}
+	w.Section("state")
+	return n.Save(w)
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

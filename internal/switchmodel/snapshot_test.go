@@ -1,0 +1,54 @@
+package switchmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/snaptest"
+	"repro/internal/token"
+)
+
+func TestSwitchSnapshotConformance(t *testing.T) {
+	mk := func() *Switch {
+		sw := New(Config{Name: "tor", Ports: 4, SwitchingLatency: 10})
+		sw.MACTable().Set(ethernet.MAC(0x2222), 2)
+		return sw
+	}
+	sw := mk()
+	flits := mkFrameFlits(t, 0x2222, 0x1111, 40)
+	// One complete packet waiting out its switching latency plus a second
+	// packet cut off mid-assembly, so the pending heap, an egress queue
+	// and a partial ingress all carry state.
+	tick(sw, 16, map[int]*token.Batch{0: packetBatch(16, 2, flits)})
+	half := token.NewBatch(8)
+	for i := 0; i < 4; i++ {
+		half.Put(i, token.Token{Data: flits[i], Valid: true})
+	}
+	tick(sw, 8, map[int]*token.Batch{1: half})
+	snaptest.RoundTrip(t, sw, func() snapshot.Snapshotter { return mk() })
+}
+
+func TestSwitchRestoreRejectsPortMismatch(t *testing.T) {
+	sw := New(Config{Name: "tor", Ports: 4})
+	data := snaptest.Save(t, sw)
+	other := New(Config{Name: "tor", Ports: 2})
+	err := restoreErr(other, data)
+	if err == nil || !strings.Contains(err.Error(), "ports") {
+		t.Fatalf("restore into 2-port switch from 4-port checkpoint: err = %v", err)
+	}
+}
+
+// restoreErr mirrors snaptest's framing for error-path assertions.
+func restoreErr(dst snapshot.Snapshotter, stream []byte) error {
+	r, _, err := snapshot.NewReader(bytes.NewReader(stream))
+	if err != nil {
+		return err
+	}
+	if _, err := r.Next(); err != nil {
+		return err
+	}
+	return dst.Restore(r)
+}

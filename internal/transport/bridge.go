@@ -199,6 +199,34 @@ func (b *Bridge) Degrade() {
 	b.closeConn()
 }
 
+// Reset revives a bridge (possibly degraded or errored) onto a fresh
+// connection, rewinding both sequence counters to seq. It is the
+// supervisor's recovery path: after restoring a dead peer from a
+// checkpoint taken at cycle C, both sides resume the token stream at
+// batch C/step, so the bridge must forget everything after that point —
+// including its resend ring, whose retained batches belong to an
+// abandoned timeline. The next TickBatch re-handshakes on the new
+// connection.
+func (b *Bridge) Reset(conn io.ReadWriter, seq uint64) {
+	if conn != b.conn {
+		// Keep the connection alive when a fresh bridge is reset onto the
+		// conn it was built with (the respawned peer's pattern).
+		b.closeConn()
+	}
+	b.setConn(conn)
+	b.err = nil
+	b.degraded = false
+	b.handshaken = false
+	b.step = 0
+	b.nextSend = seq
+	b.nextRecv = seq
+	b.resendLow = seq
+	b.ring = nil
+	if m := b.metrics; m != nil {
+		m.degraded.Set(0)
+	}
+}
+
 func (b *Bridge) closeConn() {
 	if c, ok := b.conn.(io.Closer); ok {
 		c.Close()

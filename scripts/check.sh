@@ -18,4 +18,15 @@ echo "== bench smoke =="
 # and emits parseable JSON. Real numbers come from scripts/bench.sh.
 go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 1 -out "$(mktemp)" >/dev/null
 
+echo "== checkpoint determinism smoke =="
+# Run, checkpoint, run on, restore, re-run: final state must be
+# bit-identical, under both runners. Exits non-zero on divergence.
+go run ./cmd/firesim snap verify -nodes 4 -cycles 2048 -extra 2048 >/dev/null
+go run ./cmd/firesim snap verify -nodes 4 -cycles 2048 -extra 2048 -parallel >/dev/null
+
+echo "== snapshot fuzz (short) =="
+# A few seconds of coverage-guided fuzzing over the snapshot decoder: the
+# Reader must never panic on malformed streams.
+go test ./internal/snapshot -run '^$' -fuzz FuzzReader -fuzztime 5s >/dev/null
+
 echo "OK"
