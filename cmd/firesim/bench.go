@@ -5,7 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 	"time"
 
 	"repro/internal/clock"
@@ -31,9 +31,12 @@ type benchResult struct {
 	RunMetrics         benchVariant `json:"run_metrics"`
 	RunParallelMetrics benchVariant `json:"run_parallel_metrics"`
 
-	// Overhead of enabling metrics, percent of wall time: the median of
-	// per-rep instrumented/base ratios (negative means the instrumented
-	// run happened to be faster — i.e. within noise).
+	// Overhead of enabling metrics, percent of wall time, from the ratio
+	// of best-of-reps wall times. Min-of-reps is the noise-rejection
+	// estimator: each side's best run is its closest approach to the true
+	// cost, so the ratio cannot go negative the way a mean or per-rep
+	// median could when the host drifts mid-bench (it is clamped at 0 —
+	// instrumentation cannot make the simulator faster).
 	RunOverheadPct         float64 `json:"run_metrics_overhead_pct"`
 	RunParallelOverheadPct float64 `json:"run_parallel_metrics_overhead_pct"`
 
@@ -42,12 +45,31 @@ type benchResult struct {
 
 // benchFile is the BENCH_fame.json document.
 type benchFile struct {
-	GeneratedBy       string        `json:"generated_by"`
-	TargetFreqHz      float64       `json:"target_freq_hz"`
-	LinkLatencyCycles uint64        `json:"link_latency_cycles"`
-	Rounds            int           `json:"rounds"`
-	Reps              int           `json:"reps"`
-	Results           []benchResult `json:"results"`
+	GeneratedBy       string  `json:"generated_by"`
+	TargetFreqHz      float64 `json:"target_freq_hz"`
+	LinkLatencyCycles uint64  `json:"link_latency_cycles"`
+	Rounds            int     `json:"rounds"`
+	Reps              int     `json:"reps"`
+	// Workers is the -workers flag (0 = GOMAXPROCS); GOMAXPROCS records
+	// what that default resolved to on the bench host, so speedup numbers
+	// can be read against the core count that produced them.
+	Workers    int           `json:"workers"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchHistoryEntry is one line of BENCH_history.jsonl: a timestamped
+// digest of a bench invocation, so the perf trajectory is tracked across
+// PRs without diffing full BENCH_fame.json documents.
+type benchHistoryEntry struct {
+	Time       string             `json:"time"`
+	Rounds     int                `json:"rounds"`
+	Reps       int                `json:"reps"`
+	Workers    int                `json:"workers"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	RunHz      map[string]float64 `json:"run_hz"`
+	ParHz      map[string]float64 `json:"run_parallel_hz"`
+	Speedup    map[string]float64 `json:"parallel_speedup"`
 }
 
 func cmdBench(args []string) error {
@@ -56,9 +78,11 @@ func cmdBench(args []string) error {
 	rounds := fs.Int("rounds", 2048, "link-latency rounds per measurement")
 	reps := fs.Int("reps", 5, "repetitions per variant (best wall time wins)")
 	latencyUs := fs.Float64("latency-us", 2, "link latency in microseconds")
+	workers := fs.Int("workers", 0, "parallel scheduler worker count (0 = GOMAXPROCS)")
 	out := fs.String("out", "BENCH_fame.json", "output file")
-	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
-	tracefile := fs.String("trace", "", "write a runtime execution trace to this file")
+	history := fs.String("history", "", "append a timestamped result line to this JSONL file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering only the measured round loops to this file")
+	tracefile := fs.String("trace", "", "write a runtime execution trace covering only the measured round loops to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,12 +91,6 @@ func cmdBench(args []string) error {
 		return err
 	}
 
-	var prof obs.Profiles
-	if err := prof.Start(*cpuprofile, *tracefile); err != nil {
-		return err
-	}
-	defer prof.Stop()
-
 	clk := clock.New(clock.DefaultTargetClock)
 	doc := benchFile{
 		GeneratedBy:       "firesim bench",
@@ -80,11 +98,13 @@ func cmdBench(args []string) error {
 		LinkLatencyCycles: uint64(clk.CyclesInMicros(*latencyUs)),
 		Rounds:            *rounds,
 		Reps:              *reps,
+		Workers:           *workers,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 	}
 
 	table := stats.NewTable("Nodes", "Run", "RunParallel", "Speedup", "Metrics overhead")
 	for _, n := range sizes {
-		r, err := benchOneSize(n, *rounds, *reps, clk.CyclesInMicros(*latencyUs))
+		r, err := benchOneSize(n, *rounds, *reps, *workers, clk.CyclesInMicros(*latencyUs))
 		if err != nil {
 			return fmt.Errorf("bench %d nodes: %w", n, err)
 		}
@@ -103,43 +123,101 @@ func cmdBench(args []string) error {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
 	}
+	if *history != "" {
+		if err := appendBenchHistory(*history, &doc); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("sim-rate across topology sizes (%d rounds x %d reps, link %.3g us):\n",
 		*rounds, *reps, *latencyUs)
 	fmt.Print(table.String())
 	fmt.Printf("wrote %s\n", *out)
+
+	// Profiling is a dedicated extra pass so the collectors wrap only the
+	// measured round loops (pprof cannot pause/resume into one file, so
+	// arming it around the whole bench would bury the schedulers under
+	// deployment and JSON noise).
+	if *cpuprofile != "" || *tracefile != "" {
+		largest := sizes[len(sizes)-1]
+		if err := profilePass(largest, *rounds, *workers, clk.CyclesInMicros(*latencyUs), *cpuprofile, *tracefile); err != nil {
+			return err
+		}
+		fmt.Printf("profiled %d-node round loops (cpu=%q trace=%q)\n", largest, *cpuprofile, *tracefile)
+	}
 	return nil
 }
 
+// appendBenchHistory adds one compact line for this invocation to the
+// JSONL history file, creating it if needed.
+func appendBenchHistory(path string, doc *benchFile) error {
+	e := benchHistoryEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Rounds:     doc.Rounds,
+		Reps:       doc.Reps,
+		Workers:    doc.Workers,
+		GOMAXPROCS: doc.GOMAXPROCS,
+		RunHz:      map[string]float64{},
+		ParHz:      map[string]float64{},
+		Speedup:    map[string]float64{},
+	}
+	for _, r := range doc.Results {
+		key := fmt.Sprintf("%d", r.Nodes)
+		e.RunHz[key] = r.Run.SimHz
+		e.ParHz[key] = r.RunParallel.SimHz
+		e.Speedup[key] = r.ParallelSpeedup
+	}
+	line, err := json.Marshal(&e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(line, '\n'))
+	return err
+}
+
+// benchDeploy stands up one ping-loaded rack ready to measure: pings
+// armed, one warm-up slice already run with the requested scheduler so
+// cold caches and first-round batch allocation are never billed to a
+// measured rate.
+func benchDeploy(nodes, rounds, workers int, linkLatency clock.Cycles, parallel, withMetrics bool) (*core.Cluster, clock.Cycles, error) {
+	c, err := core.Deploy(core.Rack("tor0", nodes, core.QuadCore),
+		core.DeployConfig{LinkLatency: linkLatency, Workers: workers})
+	if err != nil {
+		return nil, 0, err
+	}
+	if withMetrics {
+		c.EnableMetrics(obs.NewRegistry("bench"))
+	}
+	step := c.Runner.Step()
+	cycles := clock.Cycles(rounds) * step
+	interval := 4 * step
+	count := int((cycles+4*step)/interval) + 1
+	for i, src := range c.Servers {
+		dst := c.Servers[(i+1)%len(c.Servers)]
+		src.Ping(0, dst.IP(), count, interval, nil)
+	}
+	if _, err := c.Runner.Measure(4*step, clock.DefaultTargetClock, parallel); err != nil {
+		return nil, 0, err
+	}
+	return c, cycles, nil
+}
+
 // benchOneSize measures one rack size in all four variants. Each variant
-// gets a fresh deployment (so FAME pipe state never carries over) running
+// gets a fresh deployment (so FAME link state never carries over) running
 // a ring of pings — an idle rack ticks in nanoseconds and would make any
 // fixed instrumentation cost look enormous, so the overhead number is
 // only meaningful under representative load. One warm-up slice precedes
 // the measurement and the best of reps runs wins — the usual way to
 // reject scheduler noise on a shared host.
-func benchOneSize(nodes, rounds, reps int, linkLatency clock.Cycles) (benchResult, error) {
+func benchOneSize(nodes, rounds, reps, workers int, linkLatency clock.Cycles) (benchResult, error) {
 	res := benchResult{Nodes: nodes}
 	oneRun := func(parallel, withMetrics bool) (time.Duration, clock.Cycles, error) {
-		c, err := core.Deploy(core.Rack("tor0", nodes, core.QuadCore),
-			core.DeployConfig{LinkLatency: linkLatency})
+		c, cycles, err := benchDeploy(nodes, rounds, workers, linkLatency, parallel, withMetrics)
 		if err != nil {
-			return 0, 0, err
-		}
-		if withMetrics {
-			c.EnableMetrics(obs.NewRegistry("bench"))
-		}
-		step := c.Runner.Step()
-		cycles := clock.Cycles(rounds) * step
-		interval := 4 * step
-		count := int((cycles+4*step)/interval) + 1
-		for i, src := range c.Servers {
-			dst := c.Servers[(i+1)%len(c.Servers)]
-			src.Ping(0, dst.IP(), count, interval, nil)
-		}
-		// Warm-up: one slice outside the measurement, so cold caches and
-		// the parallel runner's first-round batch allocation are not
-		// billed to the rate.
-		if _, err := c.Runner.Measure(4*step, clock.DefaultTargetClock, parallel); err != nil {
 			return 0, 0, err
 		}
 		rate, err := c.Runner.Measure(cycles, clock.DefaultTargetClock, parallel)
@@ -151,13 +229,10 @@ func benchOneSize(nodes, rounds, reps int, linkLatency clock.Cycles) (benchResul
 
 	// Base and instrumented runs are interleaved within each rep so that
 	// host frequency/scheduler drift during the bench biases both sides
-	// equally rather than whichever variant ran last. The displayed rates
-	// use best-of-reps; the overhead is the median of per-rep
-	// instrumented/base ratios, which survives slow drift and a single
-	// outlier rep far better than a ratio of two independent bests.
+	// equally rather than whichever variant ran last. Both the displayed
+	// rates and the overhead use best-of-reps (see RunOverheadPct).
 	measurePair := func(parallel bool) (base, inst benchVariant, overhead float64, err error) {
 		bestBase, bestInst := time.Duration(-1), time.Duration(-1)
-		ratios := make([]float64, 0, reps)
 		var cycles clock.Cycles
 		for rep := 0; rep < reps; rep++ {
 			wb, cy, err := oneRun(parallel, false)
@@ -174,12 +249,13 @@ func benchOneSize(nodes, rounds, reps int, linkLatency clock.Cycles) (benchResul
 			if bestInst < 0 || wi < bestInst {
 				bestInst = wi
 			}
-			ratios = append(ratios, float64(wi)/float64(wb))
 			cycles = cy
 		}
 		res.Cycles = uint64(cycles)
-		sort.Float64s(ratios)
-		overhead = 100 * (ratios[len(ratios)/2] - 1)
+		overhead = 100 * (float64(bestInst)/float64(bestBase) - 1)
+		if overhead < 0 {
+			overhead = 0
+		}
 		return toVariant(cycles, bestBase), toVariant(cycles, bestInst), overhead, nil
 	}
 
@@ -194,6 +270,33 @@ func benchOneSize(nodes, rounds, reps int, linkLatency clock.Cycles) (benchResul
 		res.ParallelSpeedup = float64(res.Run.WallNanos) / float64(res.RunParallel.WallNanos)
 	}
 	return res, nil
+}
+
+// profilePass runs both schedulers once at the given size with the
+// collectors from internal/obs armed around only the measured round
+// loops: deployment, ping arming and warm-up happen before Start, the
+// JSON/teardown after Stop.
+func profilePass(nodes, rounds, workers int, linkLatency clock.Cycles, cpuPath, tracePath string) error {
+	seq, seqCycles, err := benchDeploy(nodes, rounds, workers, linkLatency, false, false)
+	if err != nil {
+		return err
+	}
+	par, parCycles, err := benchDeploy(nodes, rounds, workers, linkLatency, true, false)
+	if err != nil {
+		return err
+	}
+	var prof obs.Profiles
+	if err := prof.Start(cpuPath, tracePath); err != nil {
+		return err
+	}
+	defer prof.Stop()
+	if _, err := seq.Runner.Measure(seqCycles, clock.DefaultTargetClock, false); err != nil {
+		return err
+	}
+	if _, err := par.Runner.Measure(parCycles, clock.DefaultTargetClock, true); err != nil {
+		return err
+	}
+	return nil
 }
 
 func toVariant(cycles clock.Cycles, wall time.Duration) benchVariant {

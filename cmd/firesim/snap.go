@@ -194,7 +194,7 @@ func cmdSnapVerify(args []string) error {
 	sf := addSnapFlags(fs)
 	cycles := fs.Int64("cycles", 65536, "target cycles before the checkpoint")
 	extra := fs.Int64("extra", 65536, "target cycles replayed on both sides of the checkpoint")
-	parallel := fs.Bool("parallel", false, "replay with the goroutine-per-endpoint parallel runner")
+	parallel := fs.Bool("parallel", false, "replay with the worker-pool parallel runner")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

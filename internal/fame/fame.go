@@ -16,9 +16,10 @@
 //   - Link plumbing with per-link latency, where batch size equals the
 //     link latency exactly as in the paper ("we always set our batch size
 //     to the target link latency being modeled"),
-//   - a deterministic sequential Runner and a parallel Runner
-//     (goroutine-per-endpoint, channel-backed token transport) that
-//     produce bit-identical token streams, and
+//   - a deterministic sequential Runner and a parallel Runner (a fixed
+//     worker pool over a topology-aware endpoint partition, with
+//     latency-tolerant SPSC rings on cross-worker links; see parallel.go)
+//     that produce bit-identical token streams, and
 //   - a FAME-5-style Multiplex wrapper that hosts several target models on
 //     one simulated physical pipeline.
 package fame
@@ -26,7 +27,6 @@ package fame
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -73,8 +73,9 @@ type Endpoint interface {
 //
 // Implementations may mutate the batch in place (the runtime owns its
 // storage at hook time) but must not retain it. They must be safe for
-// concurrent calls on distinct endpoints: RunParallel invokes hooks from
-// one goroutine per endpoint.
+// concurrent calls on distinct endpoints: RunParallel invokes each
+// endpoint's hooks from the worker goroutine that owns the endpoint, and
+// different endpoints may be on different workers.
 type Injector interface {
 	FilterInput(endpoint string, port int, start clock.Cycles, b *token.Batch)
 	FilterOutput(endpoint string, port int, start clock.Cycles, b *token.Batch)
@@ -148,6 +149,10 @@ type Runner struct {
 	// hot loops guard every instrument behind that one nil check.
 	metricsReg *obs.Registry
 	metrics    *runnerMetrics
+
+	// workers, when non-zero, fixes how many workers RunParallel uses;
+	// zero means GOMAXPROCS (see SetWorkers in parallel.go).
+	workers int
 
 	// stepOverride, when non-zero, forces a smaller batch step than the
 	// latency GCD (it must divide every link latency). Target behaviour is
@@ -447,8 +452,10 @@ func (r *Runner) run(cycles clock.Cycles) (time.Duration, error) {
 }
 
 // RunParallel advances the simulation by the given number of target cycles
-// with one goroutine per endpoint, communicating through buffered channels.
-// This mirrors the paper's distributed execution: hosts are decoupled and
+// using the sharded worker pool scheduler (see parallel.go): endpoints are
+// partitioned across up to Workers() workers, and each worker runs
+// decoupled for up to a link latency of target cycles before synchronizing
+// with a neighbour. This mirrors the paper's distributed execution: hosts
 // may be simulating different target cycles at the same moment, yet the
 // token protocol guarantees results identical to the sequential scheduler.
 func (r *Runner) RunParallel(cycles clock.Cycles) error {
@@ -456,249 +463,13 @@ func (r *Runner) RunParallel(cycles clock.Cycles) error {
 	return err
 }
 
-// runParallel is RunParallel plus a wall-time measurement covering only
-// the decoupled round loop: build, pipe construction and the final drain
-// all happen outside the clock, matching what run times for the
-// sequential scheduler.
-func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
-	if err := r.build(); err != nil {
-		return 0, err
-	}
-	if cycles <= 0 || cycles%r.step != 0 {
-		return 0, fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
-	}
-	rounds := int(cycles / r.step)
-	n := int(r.step)
-	m := r.metrics
-
-	// Build one Go channel per direction per link, seeded from the
-	// persistent channel queues so that Run and RunParallel can be mixed.
-	type pipe struct {
-		data chan *token.Batch
-		free chan *token.Batch
-	}
-	pipes := make(map[*channel]*pipe, len(r.links)*2)
-	for i := range r.endpoints {
-		for _, ch := range r.outCh[i] {
-			if ch == nil {
-				continue
-			}
-			depth := int(ch.latency/r.step) + 1
-			// The free ring must hold every batch that can exist in the
-			// pipe system, or recycled batches are silently dropped and
-			// takeFree allocates fresh replacements forever, defeating the
-			// pool. Batches outside the free ring are bounded by the data
-			// buffer (depth) plus one held by the producer and one by the
-			// consumer; the population only grows when takeFree finds the
-			// ring empty, so it never exceeds depth+3. Sizing the ring to
-			// exactly that bound makes steady-state rounds allocation-free
-			// (asserted by TestParallelSteadyStateAllocs) and drops
-			// impossible; fame_pool_drops_total stays as a tripwire.
-			p := &pipe{
-				data: make(chan *token.Batch, depth),
-				free: make(chan *token.Batch, depth+3),
-			}
-			for ch.queue.len() > 0 {
-				p.data <- ch.queue.pop()
-			}
-			for _, b := range ch.free {
-				select {
-				case p.free <- b:
-				default:
-					// More recycled batches than the ring can hold (cannot
-					// happen with the sizing above); let the GC take them
-					// rather than block the seeding loop.
-					if m != nil {
-						m.poolDrops.Inc()
-					}
-				}
-			}
-			ch.free = ch.free[:0]
-			pipes[ch] = p
-		}
-	}
-	takeFree := func(p *pipe) *token.Batch {
-		select {
-		case b := <-p.free:
-			b.Reset(n)
-			return b
-		default:
-			if m != nil {
-				m.poolAllocs.Inc()
-			}
-			return token.NewBatch(n)
-		}
-	}
-
-	base := r.cycle
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i, e := range r.endpoints {
-		wg.Add(1)
-		go func(i int, e Endpoint) {
-			defer wg.Done()
-			np := e.NumPorts()
-			in := make([]*token.Batch, np)
-			out := make([]*token.Batch, np)
-			localEmpty := token.NewBatch(n)
-			localScratch := make([]*token.Batch, np)
-			for p := 0; p < np; p++ {
-				if r.outCh[i][p] == nil {
-					localScratch[p] = token.NewBatch(n)
-				}
-			}
-			var hbRounds, accToks uint64
-			for round := 0; round < rounds; round++ {
-				for p := 0; p < np; p++ {
-					if ch := r.inCh[i][p]; ch != nil {
-						in[p] = <-pipes[ch].data
-					} else {
-						in[p] = localEmpty
-					}
-					if ch := r.outCh[i][p]; ch != nil {
-						out[p] = takeFree(pipes[ch])
-					} else {
-						localScratch[p].Reset(n)
-						out[p] = localScratch[p]
-					}
-				}
-				if inj := r.injector; inj != nil {
-					name := e.Name()
-					winStart := base + clock.Cycles(round)*r.step
-					for p := 0; p < np; p++ {
-						if r.inCh[i][p] != nil {
-							inj.FilterInput(name, p, winStart, in[p])
-						}
-					}
-				}
-				// Tick timing samples the same rounds as the sequential
-				// runner, so the two modes' histograms stay comparable. Here
-				// each endpoint times only its own TickBatch (two clock reads
-				// on sampled rounds): pipe-wait time must never pollute the
-				// tick histogram, and there is no cross-endpoint chain to
-				// borrow a read from.
-				sampled := m != nil && round&tickSampleMask == 0
-				var t0 time.Time
-				if sampled {
-					t0 = time.Now()
-				}
-				e.TickBatch(n, in, out)
-				if sampled {
-					m.tick[i].Observe(uint64(time.Since(t0).Nanoseconds()))
-				}
-				if m != nil {
-					var toks uint64
-					for p := 0; p < np; p++ {
-						if r.outCh[i][p] != nil {
-							toks += uint64(len(out[p].Slots))
-						}
-					}
-					if toks > 0 {
-						m.epTokens[i].Add(toks)
-						accToks += toks
-					}
-					if sampled && accToks > 0 {
-						m.tokens.Add(accToks)
-						accToks = 0
-					}
-				}
-				if inj := r.injector; inj != nil {
-					name := e.Name()
-					winStart := base + clock.Cycles(round)*r.step
-					for p := 0; p < np; p++ {
-						if r.outCh[i][p] != nil {
-							inj.FilterOutput(name, p, winStart, out[p])
-						}
-					}
-				}
-				for p := 0; p < np; p++ {
-					if ch := r.outCh[i][p]; ch != nil {
-						pipes[ch].data <- out[p]
-					}
-					if ch := r.inCh[i][p]; ch != nil {
-						select {
-						case pipes[ch].free <- in[p]:
-						default:
-							// Unreachable with the depth+3 ring sizing; the
-							// counter is a regression tripwire.
-							if m != nil {
-								m.poolDrops.Inc()
-							}
-						}
-					}
-				}
-				if m != nil && i == 0 {
-					// Endpoints advance decoupled, so any one of them is an
-					// equally good progress heartbeat; the first endpoint
-					// reports for the group, batching flushes to sampled
-					// rounds like the sequential runner. The gauge is
-					// corrected to the exact final cycle after the barrier
-					// below.
-					hbRounds++
-					if sampled {
-						m.rounds.Add(hbRounds)
-						m.cycles.Add(hbRounds * uint64(r.step))
-						hbRounds = 0
-						m.cycleGauge.Set(int64(base + clock.Cycles(round+1)*r.step))
-					}
-				}
-			}
-			if m != nil {
-				if hbRounds > 0 {
-					m.rounds.Add(hbRounds)
-					m.cycles.Add(hbRounds * uint64(r.step))
-				}
-				if accToks > 0 {
-					m.tokens.Add(accToks)
-				}
-			}
-		}(i, e)
-	}
-	wg.Wait()
-	wall := time.Since(start)
-
-	// Drain channel state back into the persistent queues so a subsequent
-	// Run (sequential) continues seamlessly.
-	for i := range r.endpoints {
-		for _, ch := range r.outCh[i] {
-			if ch == nil {
-				continue
-			}
-			p := pipes[ch]
-			for {
-				select {
-				case b := <-p.data:
-					ch.push(b)
-					continue
-				default:
-				}
-				break
-			}
-			for {
-				select {
-				case b := <-p.free:
-					ch.recycle(b)
-					continue
-				default:
-				}
-				break
-			}
-		}
-	}
-	r.cycle += clock.Cycles(rounds) * r.step
-	if m != nil {
-		m.runWall.Add(uint64(wall.Nanoseconds()))
-		m.cycleGauge.Set(int64(r.cycle))
-	}
-	return wall, nil
-}
-
 // Measure runs the simulation for the given target cycles (sequentially or
 // in parallel) and returns the achieved simulation rate, which is how the
 // paper reports performance in Figures 8 and 9.
 //
 // Only the round loop is timed. Topology build, scratch allocation and the
-// parallel runner's pipe construction all happen before the clock starts
+// parallel runner's partition and ring construction all happen before the
+// clock starts
 // (and the parallel drain after it stops), so short calibration runs
 // report the same per-cycle cost as long ones instead of folding one-time
 // setup into the rate.

@@ -153,8 +153,8 @@ func (e *echo) TickBatch(n int, in, out []*token.Batch) {
 }
 
 // TestSequentialParallelEquivalence is the determinism guarantee from
-// DESIGN.md: the parallel goroutine-per-endpoint runner must produce
-// bit-identical token streams to the sequential one.
+// DESIGN.md: the parallel worker-pool runner must produce bit-identical
+// token streams to the sequential one.
 func TestSequentialParallelEquivalence(t *testing.T) {
 	build := func() (*Runner, *Sink, *Sink) {
 		r := NewRunner()

@@ -16,7 +16,7 @@ import (
 //     sampled round the sequential runner chains time.Now() reads across
 //     endpoints (one read per tick, the previous tick's end is this
 //     tick's start), while the parallel runner pays two reads per tick so
-//     pipe-wait time never pollutes the tick histogram. firesim bench
+//     ring-wait time never pollutes the tick histogram. firesim bench
 //     measures and reports the actual sim-rate overhead against the <5%
 //     budget.
 //
@@ -50,8 +50,8 @@ type runnerMetrics struct {
 	cycleGauge *obs.Gauge
 
 	// Per-endpoint instruments, indexed like Runner.endpoints. Histograms
-	// and counters are internally atomic, so the parallel runner's
-	// goroutine-per-endpoint writes need no extra synchronisation.
+	// and counters are internally atomic, so the parallel runner's worker
+	// goroutines need no extra synchronisation when writing them.
 	tick     []*obs.Histogram
 	epTokens []*obs.Counter
 }

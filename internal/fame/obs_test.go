@@ -110,39 +110,47 @@ func TestEquivalenceWithMetrics(t *testing.T) {
 	}
 }
 
-// TestParallelSteadyStateAllocs asserts the batch-pool fix: once the
-// parallel runner's pipes are warm, additional rounds must not allocate.
-// Before the fix, the undersized free ring dropped recycled batches and
-// takeFree allocated a fresh replacement every round, so allocations grew
-// linearly with round count.
+// TestParallelSteadyStateAllocs asserts the batch-pool property: once the
+// parallel runner's batch population is warm, additional rounds must not
+// allocate. Before the pool fix, the undersized free ring dropped recycled
+// batches and every round allocated a fresh replacement, so allocations
+// grew linearly with round count. The workers=2 and workers=3 variants
+// force the cross-worker SPSC ring path even on a single-core host, so
+// the zero-steady-state-alloc property is asserted for the ring transport
+// too, not just the delegated sequential loop.
 func TestParallelSteadyStateAllocs(t *testing.T) {
-	const latency = clock.Cycles(8)
-	r, _ := buildObsTopology(t, latency, 0) // idle: the pool is the only allocator in play
-
-	// Warm up: first rounds legitimately allocate the circulating batches.
-	if err := r.RunParallel(latency * 64); err != nil {
-		t.Fatal(err)
-	}
-
-	measure := func(rounds clock.Cycles) uint64 {
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		if err := r.RunParallel(latency * rounds); err != nil {
+	for _, workers := range []int{0, 2, 3} {
+		const latency = clock.Cycles(8)
+		r, _ := buildObsTopology(t, latency, 0) // idle: the pool is the only allocator in play
+		if err := r.SetWorkers(workers); err != nil {
 			t.Fatal(err)
 		}
-		runtime.ReadMemStats(&after)
-		return after.Mallocs - before.Mallocs
-	}
 
-	// Per-call overhead (goroutines, the pipes map) is identical for both
-	// calls, so the difference isolates the per-round cost.
-	short := measure(16)
-	long := measure(16 + 512)
-	if long > short {
-		perRound := float64(long-short) / 512
-		if perRound > 0.5 {
-			t.Errorf("parallel rounds allocate in steady state: %.2f allocs/round (short=%d long=%d)", perRound, short, long)
+		// Warm up: first rounds legitimately allocate the circulating batches.
+		if err := r.RunParallel(latency * 64); err != nil {
+			t.Fatal(err)
+		}
+
+		measure := func(rounds clock.Cycles) uint64 {
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			if err := r.RunParallel(latency * rounds); err != nil {
+				t.Fatal(err)
+			}
+			runtime.ReadMemStats(&after)
+			return after.Mallocs - before.Mallocs
+		}
+
+		// Per-call overhead (worker goroutines, rings, plans) is identical
+		// for both calls, so the difference isolates the per-round cost.
+		short := measure(16)
+		long := measure(16 + 512)
+		if long > short {
+			perRound := float64(long-short) / 512
+			if perRound > 0.5 {
+				t.Errorf("workers=%d: parallel rounds allocate in steady state: %.2f allocs/round (short=%d long=%d)", workers, perRound, short, long)
+			}
 		}
 	}
 }
@@ -167,7 +175,7 @@ func TestParallelPoolNoDropsUnderMixedRuns(t *testing.T) {
 	if got := s.Counters["fame_pool_drops_total"]; got != 0 {
 		t.Errorf("fame_pool_drops_total = %d, want 0", got)
 	}
-	// Allocations must stay bounded by the circulating population (pipes
+	// Allocations must stay bounded by the circulating population (links
 	// hold at most depth+3 batches per direction; 2 links * 2 directions),
 	// not grow with the 256 parallel rounds driven above.
 	if got := s.Counters["fame_pool_allocs_total"]; got > 32 {
@@ -177,7 +185,7 @@ func TestParallelPoolNoDropsUnderMixedRuns(t *testing.T) {
 
 // TestMeasureTimesOnlyRoundLoop asserts Measure's wall time is exactly
 // the round-loop time recorded by the runner itself (fame_run_wall_nanos),
-// not an outer stopwatch that would fold build and pipe construction in.
+// not an outer stopwatch that would fold build and ring construction in.
 func TestMeasureTimesOnlyRoundLoop(t *testing.T) {
 	for _, parallel := range []bool{false, true} {
 		reg := obs.NewRegistry("measure")

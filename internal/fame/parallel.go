@@ -1,0 +1,561 @@
+package fame
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/token"
+)
+
+// This file implements the parallel scheduler: a fixed, GOMAXPROCS-aware
+// worker pool over a topology-aware partition of endpoints, replacing the
+// original goroutine-per-endpoint design (which benchmarked *slower* than
+// the sequential scheduler at every topology size — two Go channel
+// operations per port per round plus scheduler churn swamped the
+// per-round work).
+//
+// The new design follows the paper's actual performance mechanism:
+// simulators run decoupled for up to a link latency of target cycles
+// between synchronizations.
+//
+//   - partition() groups endpoints so that pairs exchanging tokens
+//     co-locate on one worker whenever load balance allows. A link whose
+//     two ends share a worker needs no synchronization at all: the worker
+//     drives the link's persistent batch ring exactly as the sequential
+//     scheduler does.
+//   - links that do cross workers become spscRing pairs (data + recycled
+//     storage) sized to the link's latency depth. A worker can execute up
+//     to LinkLatency/Step rounds ahead of a neighbour before a ring runs
+//     empty/full, so one cache-line handoff is amortised over the whole
+//     slack window instead of paying two channel ops per port per round.
+//   - each worker ticks its endpoints in global registration order, which
+//     together with FIFO link order makes the token streams bit-identical
+//     to the sequential scheduler — with or without an Injector installed
+//     (hooks remain keyed on absolute target cycle).
+//
+// Worker count: SetWorkers(n) (0 = GOMAXPROCS), capped at the endpoint
+// count. With one worker the partition is a single group with zero
+// cross-worker links, and runParallel runs the sequential round loop
+// directly — on a single-core host "actually parallel" means "no slower
+// than sequential", which the old design failed.
+//
+// Deadlock freedom: every cross-worker data ring has capacity ≥ depth+1
+// (at least one free slot beyond the seeded in-flight population), so any
+// wait-for cycle would need positive total slack around a topology cycle;
+// intra-worker ordering edges are acyclic (index order) and every
+// inter-worker edge carries slack ≥ 1, so no cycle of waits can close.
+
+// SetWorkers configures how many workers RunParallel schedules endpoints
+// onto: 0 (the default) means runtime.GOMAXPROCS. Like SetInjector it may
+// be called between runs; mid-run changes are not supported. The worker
+// count is host-side tuning only — token streams are bit-identical for
+// every value.
+func (r *Runner) SetWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("fame: worker count must be >= 0 (0 = GOMAXPROCS), got %d", n)
+	}
+	r.workers = n
+	return nil
+}
+
+// Workers reports the worker count the next RunParallel will use before
+// capping at the endpoint count: the SetWorkers value, or GOMAXPROCS when
+// unset.
+func (r *Runner) Workers() int {
+	if r.workers > 0 {
+		return r.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// partition splits endpoint indices into at most `workers` groups. It is
+// deterministic (a pure function of the registered topology and the
+// worker count) and aims for two properties, in order:
+//
+//  1. balance: group weights stay near total/workers, with an endpoint's
+//     port count as its cost proxy (a switch ticking 32 ports does
+//     roughly 32 single-port endpoints' worth of work per round);
+//  2. co-location: endpoints joined by a link merge into one group when
+//     the balance cap allows, so their links need no synchronization.
+//
+// Greedy merge over links in registration order (union-find, capped at
+// ceil(total/workers)), then first-fit-decreasing packing of the merged
+// groups into the worker bins. Empty bins are dropped; each returned
+// group is sorted by endpoint index, which is the worker's tick order.
+func (r *Runner) partition(workers int) [][]int {
+	ne := len(r.endpoints)
+	if workers > ne {
+		workers = ne
+	}
+	if workers <= 1 {
+		all := make([]int, ne)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+
+	weight := make([]int, ne)
+	total := 0
+	for i, e := range r.endpoints {
+		w := e.NumPorts()
+		if w < 1 {
+			w = 1
+		}
+		weight[i] = w
+		total += w
+	}
+	maxGroup := (total + workers - 1) / workers
+
+	parent := make([]int, ne)
+	wsum := make([]int, ne)
+	for i := range parent {
+		parent[i] = i
+		wsum[i] = weight[i]
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, l := range r.links {
+		a, b := find(l.a.ep), find(l.b.ep)
+		if a == b || wsum[a]+wsum[b] > maxGroup {
+			continue
+		}
+		if b < a {
+			a, b = b, a // root at the smaller index: deterministic
+		}
+		parent[b] = a
+		wsum[a] += wsum[b]
+	}
+
+	// Collect merged groups; scanning i ascending makes each group's
+	// first member its smallest index.
+	groupOf := make(map[int]int, ne)
+	var groups [][]int
+	var gw []int
+	for i := 0; i < ne; i++ {
+		root := find(i)
+		gi, ok := groupOf[root]
+		if !ok {
+			gi = len(groups)
+			groupOf[root] = gi
+			groups = append(groups, nil)
+			gw = append(gw, wsum[root])
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		gx, gy := order[x], order[y]
+		if gw[gx] != gw[gy] {
+			return gw[gx] > gw[gy]
+		}
+		return groups[gx][0] < groups[gy][0]
+	})
+	bins := make([][]int, workers)
+	load := make([]int, workers)
+	for _, gi := range order {
+		best := 0
+		for b := 1; b < workers; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		bins[best] = append(bins[best], groups[gi]...)
+		load[best] += gw[gi]
+	}
+
+	parts := bins[:0]
+	for _, b := range bins {
+		if len(b) == 0 {
+			continue
+		}
+		sort.Ints(b)
+		parts = append(parts, b)
+	}
+	return parts
+}
+
+// ringPair is the cross-worker replacement for one directed channel: data
+// carries filled batches producer→consumer, free returns recycled storage
+// consumer→producer. Sized so that steady-state rounds never allocate and
+// never drop recycled batches (the free ring holds the entire circulating
+// population: data capacity plus one batch in each side's hands).
+type ringPair struct {
+	data *spscRing
+	free *spscRing
+	ch   *channel // the persistent channel the rings stand in for
+}
+
+// newRingPair moves ch's in-flight queue and free pool into fresh rings.
+// Overflow is a counted error, not a silent GC drop: the sizing makes it
+// impossible, so hitting it means a broken invariant and the run must not
+// proceed on a leaking pool.
+func (r *Runner) newRingPair(ch *channel, m *runnerMetrics) (*ringPair, error) {
+	depth := int(ch.latency / r.step)
+	rp := &ringPair{
+		data: newSPSCRing(depth + 1),
+		free: newSPSCRing(depth + 3),
+		ch:   ch,
+	}
+	for ch.queue.len() > 0 {
+		if !rp.data.push(ch.queue.pop()) {
+			rp.drain()
+			return nil, fmt.Errorf("fame: data ring overflow seeding link (depth %d, cap %d)", depth, rp.data.cap())
+		}
+	}
+	for _, b := range ch.free {
+		if !rp.free.push(b) {
+			if m != nil {
+				m.poolDrops.Inc()
+			}
+			rp.drain()
+			return nil, fmt.Errorf("fame: free-pool ring overflow seeding link (%d recycled batches, cap %d)", len(ch.free), rp.free.cap())
+		}
+	}
+	ch.free = ch.free[:0]
+	return rp, nil
+}
+
+// drain moves all ring contents back into the persistent channel, in FIFO
+// order, so a subsequent sequential Run or a checkpoint Save sees exactly
+// the state it would after a sequential run.
+func (rp *ringPair) drain() {
+	for {
+		b, ok := rp.data.pop()
+		if !ok {
+			break
+		}
+		rp.ch.push(b)
+	}
+	for {
+		b, ok := rp.free.pop()
+		if !ok {
+			break
+		}
+		rp.ch.recycle(b)
+	}
+}
+
+// portBind resolves one endpoint port for the worker loop: exactly one of
+// ch (intra-worker link), rp (cross-worker link) is non-nil, or neither
+// (unconnected port).
+type portBind struct {
+	ch *channel
+	rp *ringPair
+}
+
+func (b portBind) connected() bool { return b.ch != nil || b.rp != nil }
+
+// epPlan is one endpoint's precompiled schedule entry: port bindings and
+// reusable scratch, so the hot loop performs no lookups.
+type epPlan struct {
+	idx     int // index into Runner.endpoints (and metrics arrays)
+	ep      Endpoint
+	name    string
+	in, out []portBind
+	ins     []*token.Batch
+	outs    []*token.Batch
+	scratch []*token.Batch // per unconnected output port
+	empty   *token.Batch   // read-only input for unconnected input ports
+}
+
+// ringSpin is how many failed pop/push attempts a worker burns before
+// yielding the processor. Within a link's slack window attempts never
+// fail; at the window edge the neighbour is at most one round of work
+// away, so a short spin usually beats a scheduler round trip.
+const ringSpin = 128
+
+func popWait(q *spscRing) *token.Batch {
+	for i := 0; ; i++ {
+		if b, ok := q.pop(); ok {
+			return b
+		}
+		if i >= ringSpin {
+			runtime.Gosched()
+		}
+	}
+}
+
+func pushWait(q *spscRing, b *token.Batch) {
+	for i := 0; ; i++ {
+		if q.push(b) {
+			return
+		}
+		if i >= ringSpin {
+			runtime.Gosched()
+		}
+	}
+}
+
+// runParallel is RunParallel plus a wall-time measurement covering only
+// the decoupled round loop: build, partitioning, ring construction and
+// the final drain all happen outside the clock, matching what run times
+// for the sequential scheduler.
+func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
+	if err := r.build(); err != nil {
+		return 0, err
+	}
+	if cycles <= 0 || cycles%r.step != 0 {
+		return 0, fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
+	}
+
+	parts := r.partition(r.Workers())
+	if len(parts) == 1 {
+		// One worker owns every endpoint, so there is nothing to
+		// synchronize: the worker-pool loop would be the sequential loop
+		// with extra indirection. Run the sequential scheduler itself —
+		// this is what makes RunParallel no slower than Run on a
+		// single-core host.
+		return r.run(cycles)
+	}
+
+	rounds := int(cycles / r.step)
+	n := int(r.step)
+	m := r.metrics
+
+	owner := make([]int, len(r.endpoints))
+	for w, eps := range parts {
+		for _, i := range eps {
+			owner[i] = w
+		}
+	}
+
+	// A channel's producer is the endpoint holding it in outCh, its
+	// consumer the one holding it in inCh; a link crosses workers when
+	// those two endpoints land in different bins.
+	consOf := make(map[*channel]int, 2*len(r.links))
+	for i := range r.endpoints {
+		for _, ch := range r.inCh[i] {
+			if ch != nil {
+				consOf[ch] = i
+			}
+		}
+	}
+	rings := make(map[*channel]*ringPair, 2*len(r.links))
+	for i := range r.endpoints {
+		for _, ch := range r.outCh[i] {
+			if ch == nil || owner[i] == owner[consOf[ch]] {
+				continue
+			}
+			rp, err := r.newRingPair(ch, m)
+			if err != nil {
+				// Put already-built rings back so the runner state stays
+				// coherent (checkpointable, sequentially runnable).
+				for _, built := range rings {
+					built.drain()
+				}
+				return 0, err
+			}
+			rings[ch] = rp
+		}
+	}
+
+	// Precompile each worker's schedule.
+	plans := make([][]*epPlan, len(parts))
+	for w, eps := range parts {
+		empty := token.NewBatch(n)
+		for _, i := range eps {
+			e := r.endpoints[i]
+			np := e.NumPorts()
+			pl := &epPlan{
+				idx:     i,
+				ep:      e,
+				name:    e.Name(),
+				in:      make([]portBind, np),
+				out:     make([]portBind, np),
+				ins:     make([]*token.Batch, np),
+				outs:    make([]*token.Batch, np),
+				scratch: make([]*token.Batch, np),
+				empty:   empty,
+			}
+			for p := 0; p < np; p++ {
+				if ch := r.inCh[i][p]; ch != nil {
+					if rp := rings[ch]; rp != nil {
+						pl.in[p] = portBind{rp: rp}
+					} else {
+						pl.in[p] = portBind{ch: ch}
+					}
+				}
+				if ch := r.outCh[i][p]; ch != nil {
+					if rp := rings[ch]; rp != nil {
+						pl.out[p] = portBind{rp: rp}
+					} else {
+						pl.out[p] = portBind{ch: ch}
+					}
+				} else {
+					pl.scratch[p] = token.NewBatch(n)
+				}
+			}
+			plans[w] = append(plans[w], pl)
+		}
+	}
+
+	base := r.cycle
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := range plans {
+		wg.Add(1)
+		go func(w int, plans []*epPlan) {
+			defer wg.Done()
+			heartbeat := owner[0] == w
+			var hbRounds, accToks uint64
+			for round := 0; round < rounds; round++ {
+				winStart := base + clock.Cycles(round)*r.step
+				// Tick timing samples the same round indices as the
+				// sequential runner so the histograms stay comparable;
+				// each tick pays its own two clock reads so ring-wait
+				// time never pollutes the histogram.
+				sampled := m != nil && round&tickSampleMask == 0
+				for _, pl := range plans {
+					in, out := pl.ins, pl.outs
+					for p := range pl.in {
+						switch bind := pl.in[p]; {
+						case bind.rp != nil:
+							in[p] = popWait(bind.rp.data)
+						case bind.ch != nil:
+							in[p] = bind.ch.pop()
+						default:
+							in[p] = pl.empty
+						}
+						switch bind := pl.out[p]; {
+						case bind.rp != nil:
+							if b, ok := bind.rp.free.pop(); ok {
+								b.Reset(n)
+								out[p] = b
+							} else {
+								if m != nil {
+									m.poolAllocs.Inc()
+								}
+								out[p] = token.NewBatch(n)
+							}
+						case bind.ch != nil:
+							out[p] = bind.ch.take(n)
+						default:
+							pl.scratch[p].Reset(n)
+							out[p] = pl.scratch[p]
+						}
+					}
+					if inj := r.injector; inj != nil {
+						for p := range pl.in {
+							if pl.in[p].connected() {
+								inj.FilterInput(pl.name, p, winStart, in[p])
+							}
+						}
+					}
+					var t0 time.Time
+					if sampled {
+						t0 = time.Now()
+					}
+					pl.ep.TickBatch(n, in, out)
+					if sampled {
+						m.tick[pl.idx].Observe(uint64(time.Since(t0).Nanoseconds()))
+					}
+					if m != nil {
+						var toks uint64
+						for p := range pl.out {
+							if pl.out[p].connected() {
+								toks += uint64(len(out[p].Slots))
+							}
+						}
+						if toks > 0 {
+							m.epTokens[pl.idx].Add(toks)
+							accToks += toks
+						}
+					}
+					if inj := r.injector; inj != nil {
+						for p := range pl.out {
+							if pl.out[p].connected() {
+								inj.FilterOutput(pl.name, p, winStart, out[p])
+							}
+						}
+					}
+					for p := range pl.out {
+						switch bind := pl.out[p]; {
+						case bind.rp != nil:
+							pushWait(bind.rp.data, out[p])
+						case bind.ch != nil:
+							bind.ch.push(out[p])
+						}
+						switch bind := pl.in[p]; {
+						case bind.rp != nil:
+							if !bind.rp.free.push(in[p]) {
+								// Unreachable with the depth+3 sizing; the
+								// counter is a regression tripwire asserted
+								// zero by tests.
+								if m != nil {
+									m.poolDrops.Inc()
+								}
+							}
+						case bind.ch != nil:
+							bind.ch.recycle(in[p])
+						}
+					}
+				}
+				if m != nil {
+					if sampled && accToks > 0 {
+						m.tokens.Add(accToks)
+						accToks = 0
+					}
+					// Workers advance decoupled, so any one is an equally
+					// good progress heartbeat; the worker owning endpoint 0
+					// reports for the group. The gauge is corrected to the
+					// exact final cycle after the barrier below.
+					if heartbeat {
+						hbRounds++
+						if sampled {
+							m.rounds.Add(hbRounds)
+							m.cycles.Add(hbRounds * uint64(r.step))
+							hbRounds = 0
+							m.cycleGauge.Set(int64(winStart + r.step))
+						}
+					}
+				}
+			}
+			if m != nil {
+				if hbRounds > 0 {
+					m.rounds.Add(hbRounds)
+					m.cycles.Add(hbRounds * uint64(r.step))
+				}
+				if accToks > 0 {
+					m.tokens.Add(accToks)
+				}
+			}
+		}(w, plans[w])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Move ring state back into the persistent channel queues so a
+	// subsequent sequential Run or checkpoint Save continues seamlessly.
+	// Iterate in endpoint/port order (not map order) for a deterministic
+	// drain sequence.
+	for i := range r.endpoints {
+		for _, ch := range r.outCh[i] {
+			if ch == nil {
+				continue
+			}
+			if rp := rings[ch]; rp != nil {
+				rp.drain()
+			}
+		}
+	}
+	r.cycle += clock.Cycles(rounds) * r.step
+	if m != nil {
+		m.runWall.Add(uint64(wall.Nanoseconds()))
+		m.cycleGauge.Set(int64(r.cycle))
+	}
+	return wall, nil
+}

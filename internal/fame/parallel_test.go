@@ -1,0 +1,379 @@
+package fame
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+	"repro/internal/token"
+)
+
+// hub is a partition-test stub: an inert endpoint with an arbitrary port
+// count, standing in for a switch (whose per-round cost scales with its
+// port count).
+type hub struct {
+	name  string
+	ports int
+}
+
+func (h *hub) Name() string                            { return h.name }
+func (h *hub) NumPorts() int                           { return h.ports }
+func (h *hub) TickBatch(n int, in, out []*token.Batch) {}
+
+// starRunner builds the bench-like star: one hub with `leaves` ports, one
+// single-port leaf endpoint per port.
+func starRunner(t *testing.T, leaves int) *Runner {
+	t.Helper()
+	r := NewRunner()
+	sw := &hub{name: "sw", ports: leaves}
+	r.Add(sw)
+	for i := 0; i < leaves; i++ {
+		leaf := &hub{name: "leaf" + string(rune('a'+i)), ports: 1}
+		r.Add(leaf)
+		if err := r.Connect(leaf, 0, sw, i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestSetWorkersValidation(t *testing.T) {
+	r := NewRunner()
+	if err := r.SetWorkers(-1); err == nil {
+		t.Error("SetWorkers(-1) accepted")
+	}
+	if err := r.SetWorkers(0); err != nil {
+		t.Errorf("SetWorkers(0) rejected: %v", err)
+	}
+	if got, want := r.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers() with 0 = %d, want GOMAXPROCS %d", got, want)
+	}
+	if err := r.SetWorkers(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Workers(); got != 3 {
+		t.Errorf("Workers() = %d, want 3", got)
+	}
+}
+
+// TestPartitionProperties checks the partitioner invariants on the
+// bench-like star: every endpoint appears exactly once, parts are in index
+// order, the part count never exceeds the worker count, and the result is
+// a pure function of the topology (two calls agree).
+func TestPartitionProperties(t *testing.T) {
+	r := starRunner(t, 8)
+	if err := r.build(); err != nil {
+		t.Fatal(err)
+	}
+	for workers := 1; workers <= 12; workers++ {
+		parts := r.partition(workers)
+		if len(parts) > workers {
+			t.Fatalf("workers=%d: %d parts", workers, len(parts))
+		}
+		if again := r.partition(workers); !reflect.DeepEqual(parts, again) {
+			t.Fatalf("workers=%d: partition not deterministic:\n%v\n%v", workers, parts, again)
+		}
+		seen := make(map[int]bool)
+		for _, part := range parts {
+			if len(part) == 0 {
+				t.Fatalf("workers=%d: empty part", workers)
+			}
+			for j, idx := range part {
+				if j > 0 && part[j-1] >= idx {
+					t.Fatalf("workers=%d: part %v not in index order", workers, part)
+				}
+				if seen[idx] {
+					t.Fatalf("workers=%d: endpoint %d in two parts", workers, idx)
+				}
+				seen[idx] = true
+			}
+		}
+		if len(seen) != 9 {
+			t.Fatalf("workers=%d: partition covers %d of 9 endpoints", workers, len(seen))
+		}
+	}
+}
+
+// TestPartitionCoLocatesLinkedPairs: with slack in the balance cap, the
+// endpoints of a link must land on the same worker so the link needs no
+// synchronization. A two-endpoint chain split across two of four workers
+// would be the pathological case.
+func TestPartitionCoLocatesLinkedPairs(t *testing.T) {
+	r := NewRunner()
+	var eps []*hub
+	for i := 0; i < 8; i++ {
+		e := &hub{name: "e" + string(rune('a'+i)), ports: 1}
+		eps = append(eps, e)
+		r.Add(e)
+	}
+	for i := 0; i < 8; i += 2 {
+		if err := r.Connect(eps[i], 0, eps[i+1], 0, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.build(); err != nil {
+		t.Fatal(err)
+	}
+	parts := r.partition(4)
+	owner := make(map[int]int)
+	for w, part := range parts {
+		for _, idx := range part {
+			owner[idx] = w
+		}
+	}
+	for i := 0; i < 8; i += 2 {
+		if owner[i] != owner[i+1] {
+			t.Errorf("linked pair (%d,%d) split across workers %d/%d (parts %v)", i, i+1, owner[i], owner[i+1], parts)
+		}
+	}
+	if len(parts) != 4 {
+		t.Errorf("got %d parts, want 4 (one pair each): %v", len(parts), parts)
+	}
+}
+
+// buildSweepTopology is a star with real traffic: two sources and a wire
+// feeding two sinks plus a cross link, exercising multiple link latencies
+// (step = gcd = 8) and an endpoint mix that forces cross-worker rings for
+// every worker count > 1.
+func buildSweepTopology(t *testing.T, inject bool) (*Runner, *Sink, *Sink) {
+	t.Helper()
+	r := NewRunner()
+	srcA := NewSource("srcA")
+	srcB := NewSource("srcB")
+	wire := NewWire("wire")
+	sinkA := NewSink("sinkA")
+	sinkB := NewSink("sinkB")
+	for _, e := range []Endpoint{srcA, srcB, wire, sinkA, sinkB} {
+		r.Add(e)
+	}
+	if err := r.Connect(srcA, 0, wire, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Connect(wire, 1, sinkB, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Connect(srcB, 0, sinkA, 0, 24); err != nil {
+		t.Fatal(err)
+	}
+	for c := int64(0); c < 48; c++ {
+		srcA.EmitAt(c, token.Token{Data: uint64(c) + 100, Valid: true, Last: c%4 == 3})
+		srcB.EmitAt(c*2, token.Token{Data: uint64(c) + 500, Valid: true})
+	}
+	if inject {
+		r.SetInjector(&dropOddInjector{mask: 0xff00})
+	}
+	return r, sinkA, sinkB
+}
+
+// TestWorkerSweepEquivalence is the tentpole determinism contract: for
+// every worker count (including counts above the endpoint count), with and
+// without fault injection, RunParallel must deliver streams bit-identical
+// to the sequential scheduler. On a single-core host this still exercises
+// the multi-worker ring path — workers make progress via Gosched.
+func TestWorkerSweepEquivalence(t *testing.T) {
+	for _, inject := range []bool{false, true} {
+		ref, refA, refB := buildSweepTopology(t, inject)
+		if err := ref.Run(240); err != nil {
+			t.Fatal(err)
+		}
+		if len(refA.Received) == 0 || len(refB.Received) == 0 {
+			t.Fatal("reference run delivered no tokens")
+		}
+		for workers := 1; workers <= 7; workers++ {
+			r, sa, sb := buildSweepTopology(t, inject)
+			if err := r.SetWorkers(workers); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.RunParallel(240); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(refA.Received, sa.Received) {
+				t.Errorf("inject=%v workers=%d: sinkA diverged from sequential", inject, workers)
+			}
+			if !reflect.DeepEqual(refB.Received, sb.Received) {
+				t.Errorf("inject=%v workers=%d: sinkB diverged from sequential", inject, workers)
+			}
+		}
+	}
+}
+
+// TestCheckpointMidParallelWorkers is the keystone snapshot property under
+// the worker pool: checkpoint between RunParallel batches with forced
+// multi-worker scheduling, restore, re-run — state bytes must match the
+// uninterrupted run exactly. This is what requires runParallel to drain
+// its rings back into the persistent channel queues.
+func TestCheckpointMidParallelWorkers(t *testing.T) {
+	const n, m = 64, 128
+	save := func(r *Runner, a, z *pulse) []byte {
+		var buf bytes.Buffer
+		w, err := snapshot.NewWriter(&buf, snapshot.Header{Cycle: uint64(r.Cycle()), Step: uint64(r.Step())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Section("state")
+		for _, s := range []snapshot.Snapshotter{r, a, z} {
+			if err := s.Save(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	r1, a1, z1 := pulsePair()
+	if err := r1.SetWorkers(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.RunParallel(n); err != nil {
+		t.Fatal(err)
+	}
+	ck := save(r1, a1, z1)
+	if err := r1.RunParallel(m); err != nil {
+		t.Fatal(err)
+	}
+	want := save(r1, a1, z1)
+
+	for _, workers := range []int{1, 2, 3} {
+		r2, a2, z2 := pulsePair()
+		if err := r2.SetWorkers(workers); err != nil {
+			t.Fatal(err)
+		}
+		rd, _, err := snapshot.NewReader(bytes.NewReader(ck))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rd.Next(); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []snapshot.Snapshotter{r2, a2, z2} {
+			if err := s.Restore(rd); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r2.RunParallel(m); err != nil {
+			t.Fatal(err)
+		}
+		if got := save(r2, a2, z2); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: restored parallel run diverged from original", workers)
+		}
+	}
+}
+
+// TestMultiWorkerMetricsEquivalence forces the cross-worker ring path and
+// holds it to the same fame_* contract the default path satisfies: exact
+// round/cycle/token counters, one tick observation per sampled round per
+// endpoint, and zero pool drops (the counted-error seeding satellite).
+func TestMultiWorkerMetricsEquivalence(t *testing.T) {
+	const latency = clock.Cycles(8)
+	const cycles = clock.Cycles(8 * 50)
+
+	seqReg := obs.NewRegistry("seq")
+	seq, _ := buildObsTopology(t, latency, 20)
+	seq.EnableMetrics(seqReg)
+	if err := seq.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	ss := seqReg.Snapshot()
+
+	for _, workers := range []int{2, 3} {
+		parReg := obs.NewRegistry("par")
+		par, _ := buildObsTopology(t, latency, 20)
+		par.EnableMetrics(parReg)
+		if err := par.SetWorkers(workers); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.RunParallel(cycles); err != nil {
+			t.Fatal(err)
+		}
+		ps := parReg.Snapshot()
+		if got, want := ps.Counters["fame_rounds_total"], uint64(cycles/latency); got != want {
+			t.Errorf("workers=%d: fame_rounds_total = %d, want %d", workers, got, want)
+		}
+		if got := ps.Counters["fame_cycles_total"]; got != uint64(cycles) {
+			t.Errorf("workers=%d: fame_cycles_total = %d, want %d", workers, got, cycles)
+		}
+		if got := ps.Gauges["fame_cycle"]; got != int64(cycles) {
+			t.Errorf("workers=%d: fame_cycle = %d, want %d", workers, got, cycles)
+		}
+		if got := ps.Counters["fame_pool_drops_total"]; got != 0 {
+			t.Errorf("workers=%d: fame_pool_drops_total = %d, want 0", workers, got)
+		}
+		if st, pt := ss.Counters["fame_tokens_total"], ps.Counters["fame_tokens_total"]; st != pt {
+			t.Errorf("workers=%d: fame_tokens_total = %d, want %d", workers, pt, st)
+		}
+		wantTicks := sampledRounds(uint64(cycles / latency))
+		for _, ep := range []string{"src", "wire", "sink"} {
+			name := obs.Label("fame_tick_nanos", "endpoint", ep)
+			if got := ps.Histograms[name].Count; got != wantTicks {
+				t.Errorf("workers=%d: %s count = %d, want %d", workers, name, got, wantTicks)
+			}
+			tname := obs.Label("fame_endpoint_tokens_total", "endpoint", ep)
+			if ss.Counters[tname] != ps.Counters[tname] {
+				t.Errorf("workers=%d: %s diverged: seq=%d par=%d", workers, tname, ss.Counters[tname], ps.Counters[tname])
+			}
+		}
+	}
+}
+
+// TestRandomTopologyWorkerEquivalence reuses the property-test generator
+// idea at a smaller scale: random stars, random worker counts, streams
+// must match the sequential scheduler bit for bit.
+func TestRandomTopologyWorkerEquivalence(t *testing.T) {
+	for leaves := 2; leaves <= 5; leaves++ {
+		build := func() (*Runner, []*Sink) {
+			r := NewRunner()
+			w := NewWire("w")
+			r.Add(w)
+			src := NewSource("src")
+			r.Add(src)
+			if err := r.Connect(src, 0, w, 0, 8); err != nil {
+				t.Fatal(err)
+			}
+			var sinks []*Sink
+			s := NewSink("s0")
+			r.Add(s)
+			sinks = append(sinks, s)
+			if err := r.Connect(w, 1, s, 0, 8); err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < leaves; i++ {
+				extra := NewSource("x" + string(rune('0'+i)))
+				es := NewSink("xs" + string(rune('0'+i)))
+				r.Add(extra)
+				r.Add(es)
+				if err := r.Connect(extra, 0, es, 0, clock.Cycles(8*i)); err != nil {
+					t.Fatal(err)
+				}
+				extra.EmitPacketAt(int64(i)*3, []uint64{uint64(i), uint64(i) * 7})
+				sinks = append(sinks, es)
+			}
+			src.EmitPacketAt(1, []uint64{1, 2, 3})
+			src.EmitPacketAt(33, []uint64{4})
+			return r, sinks
+		}
+		ref, refSinks := build()
+		if err := ref.Run(24 * 8); err != nil {
+			t.Fatal(err)
+		}
+		for workers := 2; workers <= 4; workers++ {
+			r, sinks := build()
+			if err := r.SetWorkers(workers); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.RunParallel(24 * 8); err != nil {
+				t.Fatal(err)
+			}
+			for i := range sinks {
+				if !reflect.DeepEqual(refSinks[i].Received, sinks[i].Received) {
+					t.Errorf("leaves=%d workers=%d sink %d diverged", leaves, workers, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package fame
+
+import (
+	"sync/atomic"
+
+	"repro/internal/token"
+)
+
+// spscRing is a bounded single-producer/single-consumer queue of token
+// batches built on two monotonically increasing atomic cursors over a
+// power-of-two buffer. It is the cross-worker link primitive of the
+// parallel scheduler (see parallel.go): exactly one goroutine may call
+// push and exactly one may call pop for the ring's lifetime.
+//
+// The design goal is that a worker running inside its latency slack never
+// touches another core's cache line:
+//
+//   - push writes the slot, then publishes by storing tail; pop reads
+//     tail (acquire), the slot, then publishes by storing head. The
+//     atomics are the only cross-core traffic.
+//   - each side keeps a cached copy of the other side's cursor and
+//     reloads it only when the ring looks full (producer) or empty
+//     (consumer). With a ring sized to the link's latency depth, that is
+//     at most one shared read per depth pushes — one synchronization
+//     amortised over the whole slack window, which is the point.
+//
+// Both operations are non-blocking; waiting policy (spin, Gosched) lives
+// in the scheduler, not here.
+type spscRing struct {
+	buf  []*token.Batch
+	mask uint64
+
+	// Shared cursors, each alone on its cache line. tail counts pushes
+	// (written by the producer), head counts pops (written by the
+	// consumer); in-flight = tail - head.
+	_    [48]byte
+	tail atomic.Uint64
+	_    [56]byte
+	head atomic.Uint64
+	_    [56]byte
+
+	// Producer-private mirror of tail plus the last head value it saw.
+	ptail      uint64
+	cachedHead uint64
+	_          [48]byte
+
+	// Consumer-private mirror of head plus the last tail value it saw.
+	chead      uint64
+	cachedTail uint64
+}
+
+// newSPSCRing returns a ring with capacity of at least minCap batches
+// (rounded up to a power of two).
+func newSPSCRing(minCap int) *spscRing {
+	size := 1
+	for size < minCap {
+		size <<= 1
+	}
+	return &spscRing{buf: make([]*token.Batch, size), mask: uint64(size - 1)}
+}
+
+// cap reports the ring's fixed capacity.
+func (q *spscRing) cap() int { return len(q.buf) }
+
+// len reports the current in-flight population. It is exact only when
+// neither side is mid-operation; the drain path uses it after the worker
+// barrier, where that holds.
+func (q *spscRing) len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// push appends b, reporting false when the ring is full. Producer-only.
+func (q *spscRing) push(b *token.Batch) bool {
+	if q.ptail-q.cachedHead == uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if q.ptail-q.cachedHead == uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[q.ptail&q.mask] = b
+	q.ptail++
+	q.tail.Store(q.ptail)
+	return true
+}
+
+// pop removes the oldest batch, reporting false when the ring is empty.
+// Consumer-only.
+func (q *spscRing) pop() (*token.Batch, bool) {
+	if q.chead == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if q.chead == q.cachedTail {
+			return nil, false
+		}
+	}
+	b := q.buf[q.chead&q.mask]
+	q.buf[q.chead&q.mask] = nil // let recycled storage die with the ring
+	q.chead++
+	q.head.Store(q.chead)
+	return b, true
+}

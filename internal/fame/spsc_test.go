@@ -1,0 +1,127 @@
+package fame
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/token"
+)
+
+func TestSPSCRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ min, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {9, 16}, {17, 32},
+	} {
+		if got := newSPSCRing(tc.min).cap(); got != tc.want {
+			t.Errorf("newSPSCRing(%d).cap() = %d, want %d", tc.min, got, tc.want)
+		}
+	}
+}
+
+func TestSPSCRingFullEmptyAndWraparound(t *testing.T) {
+	q := newSPSCRing(4)
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+
+	// Drive well past capacity so the cursors wrap the buffer many times,
+	// keeping the ring one short of full to exercise the cached-cursor
+	// reload on both sides.
+	batches := make([]*token.Batch, 64)
+	for i := range batches {
+		batches[i] = token.NewBatch(1)
+	}
+	next := 0
+	for i := 0; i < 3; i++ {
+		if !q.push(batches[next]) {
+			t.Fatalf("push %d failed on non-full ring", next)
+		}
+		next++
+	}
+	read := 0
+	for next < len(batches) {
+		if !q.push(batches[next]) {
+			t.Fatalf("push %d failed with %d in flight", next, q.len())
+		}
+		next++
+		got, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d failed with %d in flight", read, q.len())
+		}
+		if got != batches[read] {
+			t.Fatalf("pop %d returned wrong batch (FIFO order broken)", read)
+		}
+		read++
+	}
+	for read < len(batches) {
+		got, ok := q.pop()
+		if !ok {
+			t.Fatalf("drain pop %d failed", read)
+		}
+		if got != batches[read] {
+			t.Fatalf("drain pop %d returned wrong batch", read)
+		}
+		read++
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("ring not empty after draining everything")
+	}
+
+	// Full ring must reject the overflow push and accept it after one pop.
+	for i := 0; i < q.cap(); i++ {
+		if !q.push(batches[i]) {
+			t.Fatalf("refill push %d failed", i)
+		}
+	}
+	if q.push(batches[q.cap()]) {
+		t.Fatal("push on full ring succeeded")
+	}
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop on full ring failed")
+	}
+	if !q.push(batches[q.cap()]) {
+		t.Fatal("push after pop failed")
+	}
+}
+
+// TestSPSCRingConcurrent streams batches through a small ring from a
+// producer goroutine to a consumer goroutine; under -race this also
+// checks the publication ordering of the slot writes against the cursor
+// stores.
+func TestSPSCRingConcurrent(t *testing.T) {
+	const total = 10000
+	q := newSPSCRing(8)
+	batches := make([]*token.Batch, total)
+	for i := range batches {
+		b := token.NewBatch(1)
+		b.Put(0, token.Token{Data: uint64(i), Valid: true})
+		batches[i] = b
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			got, ok := q.pop()
+			for !ok {
+				runtime.Gosched()
+				got, ok = q.pop()
+			}
+			if got != batches[i] || got.Slots[0].Tok.Data != uint64(i) {
+				done <- fmt.Errorf("FIFO order broken at element %d", i)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < total; i++ {
+		for !q.push(batches[i]) {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if q.len() != 0 {
+		t.Fatalf("ring holds %d batches after balanced push/pop", q.len())
+	}
+}

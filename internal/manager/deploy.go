@@ -49,6 +49,10 @@ type DeployConfig struct {
 	// FaultHorizon bounds the fault schedule in target cycles (default
 	// faults.DefaultHorizon; events are only generated below it).
 	FaultHorizon clock.Cycles
+	// Workers fixes how many workers the runner's parallel scheduler uses
+	// (0 = GOMAXPROCS). Host-side tuning only: simulated behaviour is
+	// bit-identical for every value, so it is excluded from TopologyHash.
+	Workers int
 }
 
 // Cluster is a deployed simulation: the token-level runner plus handles to
@@ -146,6 +150,9 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 		LinkLatency: cfg.LinkLatency,
 		byName:      make(map[string]*softstack.Node),
 		Runner:      fame.NewRunner(),
+	}
+	if err := c.Runner.SetWorkers(cfg.Workers); err != nil {
+		return nil, err
 	}
 
 	// Pass 1: assign identities to every server, depth-first, so MAC/IP

@@ -138,6 +138,10 @@ type Supervisor struct {
 	// CheckEvery is how many target cycles run between bridge health
 	// checks (rounded to whole runner steps; default 4 steps).
 	CheckEvery clock.Cycles
+	// Parallel selects the runner's worker-pool scheduler for each slice
+	// (see fame.Runner.RunParallel and DeployConfig.Workers). Results are
+	// bit-identical either way; this is host-side tuning only.
+	Parallel bool
 
 	recovery   *RecoveryConfig
 	ckpts      []supCheckpoint
@@ -329,7 +333,13 @@ func (s *Supervisor) RunTo(horizon clock.Cycles) (*Report, error) {
 		if rem := horizon - s.runner.Cycle(); rem < n {
 			n = rem
 		}
-		if err := s.runner.Run(n); err != nil {
+		var err error
+		if s.Parallel {
+			err = s.runner.RunParallel(n)
+		} else {
+			err = s.runner.Run(n)
+		}
+		if err != nil {
 			return nil, err
 		}
 		s.checkPeers()

@@ -1,0 +1,103 @@
+package manager
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// workersRack deploys a small rack with cross-traffic and the given
+// worker count.
+func workersRack(t *testing.T, workers int) *Cluster {
+	t.Helper()
+	topo := NewSwitchNode("tor0")
+	for i := 0; i < 4; i++ {
+		topo.AddDownlinks(NewServerNode(fmt.Sprintf("s%d", i), QuadCore))
+	}
+	c, err := Deploy(topo, DeployConfig{Seed: 7, LinkLatency: 3200, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 40 * 3200
+	c.Servers[0].StartRawStream(0, c.Servers[1].MAC(), 1500, 10.0, horizon)
+	c.Servers[2].StartRawStream(0, c.Servers[3].MAC(), 900, 5.0, horizon)
+	return c
+}
+
+// TestDeployWorkersEquivalence pins the DeployConfig.Workers plumbing to
+// the determinism contract: the same deployment run sequentially and with
+// forced multi-worker parallel scheduling must reach byte-identical
+// checkpoint state.
+func TestDeployWorkersEquivalence(t *testing.T) {
+	const horizon = clock.Cycles(40 * 3200)
+
+	ref := workersRack(t, 0)
+	if err := ref.RunFor(horizon); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.StateHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 3} {
+		c := workersRack(t, workers)
+		if got := c.Runner.Workers(); got != workers {
+			t.Fatalf("DeployConfig.Workers=%d not plumbed to runner (got %d)", workers, got)
+		}
+		if err := c.Runner.RunParallel(horizon); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: state hash %#x diverged from sequential %#x", workers, got, want)
+		}
+	}
+
+	bad := NewSwitchNode("t")
+	bad.AddDownlinks(NewServerNode("s", QuadCore))
+	if _, err := Deploy(bad, DeployConfig{Workers: -1}); err == nil {
+		t.Error("Deploy accepted a negative worker count")
+	}
+}
+
+// TestSupervisorParallel runs the supervisor's slice loop through the
+// worker-pool scheduler and checks it lands on the same state as the
+// sequential slice loop.
+func TestSupervisorParallel(t *testing.T) {
+	const horizon = clock.Cycles(40 * 3200)
+
+	ref := workersRack(t, 0)
+	if _, err := ref.Supervise().RunTo(horizon); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.StateHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := workersRack(t, 2)
+	s := c.Supervise()
+	s.Parallel = true
+	rep, err := s.RunTo(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycle != horizon {
+		t.Errorf("parallel supervised run stopped at %d, want %d", rep.Cycle, horizon)
+	}
+	if rep.Partial {
+		t.Error("healthy parallel run flagged partial")
+	}
+	got, err := c.StateHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("parallel supervised state %#x diverged from sequential %#x", got, want)
+	}
+}

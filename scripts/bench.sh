@@ -5,13 +5,16 @@
 #
 #   scripts/bench.sh -nodes 2,4,8,16 -rounds 4096
 #
-# Overhead numbers are medians of interleaved A/B reps; on a busy host
-# the small topologies still jitter by a few percent, so prefer the
-# 8-node row (and the controlled Go benchmark below) when quoting the
-# metrics cost:
+# Overhead numbers come from best-of-reps wall times of interleaved A/B
+# reps; on a busy host the small topologies still jitter by a few percent,
+# so prefer the 8-node row (and the controlled Go benchmark below) when
+# quoting the metrics cost:
 #
 #   go test -run - -bench DeployedRun ./internal/manager/
+#
+# Every invocation also appends a timestamped digest line to
+# BENCH_history.jsonl, so the perf trajectory is tracked across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-go run ./cmd/firesim bench -out BENCH_fame.json "$@"
+go run ./cmd/firesim bench -out BENCH_fame.json -history BENCH_history.jsonl "$@"

@@ -18,6 +18,24 @@ echo "== bench smoke =="
 # and emits parseable JSON. Real numbers come from scripts/bench.sh.
 go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 1 -out "$(mktemp)" >/dev/null
 
+echo "== parallel speedup gate (8 nodes) =="
+# The worker-pool scheduler must never lose to the sequential one. On a
+# multi-core host it should win outright (gate at 1.0); a single-core host
+# cannot express real parallelism, so the gate there only rejects a
+# regression back to the goroutine-per-endpoint era (0.73x at 8 nodes) while
+# allowing measurement noise around parity.
+BENCH_OUT="$(mktemp)"
+go run ./cmd/firesim bench -nodes 8 -rounds 512 -reps 3 -out "$BENCH_OUT" >/dev/null
+CORES="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+MIN_SPEEDUP=1.0
+if [ "$CORES" -lt 2 ]; then MIN_SPEEDUP=0.9; fi
+SPEEDUP="$(sed -n 's/.*"parallel_speedup": \([0-9.]*\).*/\1/p' "$BENCH_OUT" | head -n1)"
+echo "   parallel_speedup=$SPEEDUP (min $MIN_SPEEDUP on $CORES core(s))"
+awk -v s="$SPEEDUP" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s >= min) }' || {
+    echo "FAIL: 8-node parallel_speedup $SPEEDUP < $MIN_SPEEDUP" >&2
+    exit 1
+}
+
 echo "== checkpoint determinism smoke =="
 # Run, checkpoint, run on, restore, re-run: final state must be
 # bit-identical, under both runners. Exits non-zero on divergence.
