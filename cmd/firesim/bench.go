@@ -56,6 +56,9 @@ type benchFile struct {
 	Workers    int           `json:"workers"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Results    []benchResult `json:"results"`
+	// NodeResults covers the per-node compute loop (SoC blades running
+	// machine code) with the fast paths on vs off; see nodebench.go.
+	NodeResults []nodeBenchResult `json:"node_results,omitempty"`
 }
 
 // benchHistoryEntry is one line of BENCH_history.jsonl: a timestamped
@@ -70,6 +73,10 @@ type benchHistoryEntry struct {
 	RunHz      map[string]float64 `json:"run_hz"`
 	ParHz      map[string]float64 `json:"run_parallel_hz"`
 	Speedup    map[string]float64 `json:"parallel_speedup"`
+	// Node-bench digests, keyed "<workload>_fast" / "<workload>_slow"
+	// (MIPS) and "<workload>" (fast-over-slow wall-time speedup).
+	NodeMIPS        map[string]float64 `json:"node_mips,omitempty"`
+	NodeFastSpeedup map[string]float64 `json:"node_fast_speedup,omitempty"`
 }
 
 func cmdBench(args []string) error {
@@ -79,6 +86,10 @@ func cmdBench(args []string) error {
 	reps := fs.Int("reps", 5, "repetitions per variant (best wall time wins)")
 	latencyUs := fs.Float64("latency-us", 2, "link latency in microseconds")
 	workers := fs.Int("workers", 0, "parallel scheduler worker count (0 = GOMAXPROCS)")
+	nodeNodes := fs.Int("node-nodes", 4, "blade count for the per-node compute-loop bench (0 disables it)")
+	nodeRounds := fs.Int("node-rounds", 512, "link-latency rounds per node-bench measurement")
+	idleMinSpeedup := fs.Float64("idle-min-speedup", 0, "fail unless the idle workload's fast-path speedup reaches this (0 disables the gate)")
+	denseMinSpeedup := fs.Float64("dense-min-speedup", 0, "fail unless the dense workload's fast-path speedup reaches this (0 disables the gate)")
 	out := fs.String("out", "BENCH_fame.json", "output file")
 	history := fs.String("history", "", "append a timestamped result line to this JSONL file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering only the measured round loops to this file")
@@ -115,6 +126,22 @@ func cmdBench(args []string) error {
 			fmt.Sprintf("%+.1f%% / %+.1f%%", r.RunOverheadPct, r.RunParallelOverheadPct))
 	}
 
+	nodeTable := stats.NewTable("Workload", "Fast", "Slow", "Speedup", "MIPS fast/slow", "Skipped")
+	if *nodeNodes > 0 {
+		nodeResults, err := benchNodePass(*nodeNodes, *nodeRounds, *reps, clk.CyclesInMicros(*latencyUs))
+		if err != nil {
+			return err
+		}
+		doc.NodeResults = nodeResults
+		for _, r := range nodeResults {
+			nodeTable.AddRow(r.Workload,
+				clock.Hz(r.Fast.SimHz), clock.Hz(r.Slow.SimHz),
+				fmt.Sprintf("%.2fx", r.FastSpeedup),
+				fmt.Sprintf("%.2f / %.2f", r.Fast.MIPS, r.Slow.MIPS),
+				fmt.Sprintf("%.1f%%", r.Fast.SkippedPct))
+		}
+	}
+
 	buf, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		return err
@@ -131,7 +158,37 @@ func cmdBench(args []string) error {
 	fmt.Printf("sim-rate across topology sizes (%d rounds x %d reps, link %.3g us):\n",
 		*rounds, *reps, *latencyUs)
 	fmt.Print(table.String())
+	if len(doc.NodeResults) > 0 {
+		fmt.Printf("per-node compute loop, %d blades x %d rounds, fast paths on vs off:\n",
+			*nodeNodes, *nodeRounds)
+		fmt.Print(nodeTable.String())
+	}
 	fmt.Printf("wrote %s\n", *out)
+
+	for _, gate := range []struct {
+		workload string
+		min      float64
+	}{
+		{"idle", *idleMinSpeedup},
+		{"dense", *denseMinSpeedup},
+	} {
+		if gate.min <= 0 {
+			continue
+		}
+		var got *nodeBenchResult
+		for i := range doc.NodeResults {
+			if doc.NodeResults[i].Workload == gate.workload {
+				got = &doc.NodeResults[i]
+			}
+		}
+		if got == nil {
+			return fmt.Errorf("bench: -%s-min-speedup set but the node bench did not run (see -node-nodes)", gate.workload)
+		}
+		if got.FastSpeedup < gate.min {
+			return fmt.Errorf("bench: %s workload fast-path speedup %.2fx below the %.2fx gate",
+				gate.workload, got.FastSpeedup, gate.min)
+		}
+	}
 
 	// Profiling is a dedicated extra pass so the collectors wrap only the
 	// measured round loops (pprof cannot pause/resume into one file, so
@@ -165,6 +222,15 @@ func appendBenchHistory(path string, doc *benchFile) error {
 		e.RunHz[key] = r.Run.SimHz
 		e.ParHz[key] = r.RunParallel.SimHz
 		e.Speedup[key] = r.ParallelSpeedup
+	}
+	if len(doc.NodeResults) > 0 {
+		e.NodeMIPS = map[string]float64{}
+		e.NodeFastSpeedup = map[string]float64{}
+		for _, r := range doc.NodeResults {
+			e.NodeMIPS[r.Workload+"_fast"] = r.Fast.MIPS
+			e.NodeMIPS[r.Workload+"_slow"] = r.Slow.MIPS
+			e.NodeFastSpeedup[r.Workload] = r.FastSpeedup
+		}
 	}
 	line, err := json.Marshal(&e)
 	if err != nil {

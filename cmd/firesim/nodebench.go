@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/ethernet"
+	"repro/internal/fame"
+	"repro/internal/obs"
+	"repro/internal/riscv"
+	"repro/internal/soc"
+	"repro/internal/switchmodel"
+)
+
+// The node bench measures the per-node compute loop itself — cycle-exact
+// SoC blades running machine code, not softstack models — in the two
+// shapes the fast paths target: an instruction-dense ALU loop (predecode
+// cache + fetch memo) and an idle WFI rack (bulk quiescent skip). Each
+// workload runs with the fast paths on and off, so BENCH_fame.json carries
+// its own baseline and the check.sh gate needs no cross-run history.
+
+// nodeBenchNode is one blade's contribution to a variant.
+type nodeBenchNode struct {
+	Name          string  `json:"name"`
+	Instret       uint64  `json:"instret"`
+	SkippedCycles uint64  `json:"skipped_cycles"`
+	MIPS          float64 `json:"mips"`
+}
+
+// nodeBenchVariant is one (workload, fast-path setting) measurement.
+type nodeBenchVariant struct {
+	WallNanos  int64           `json:"wall_ns"`
+	SimHz      float64         `json:"sim_hz"`
+	MIPS       float64         `json:"mips"`
+	SkippedPct float64         `json:"skipped_cycles_pct"`
+	PerNode    []nodeBenchNode `json:"per_node"`
+}
+
+// nodeBenchResult pairs the fast and slow runs of one workload.
+type nodeBenchResult struct {
+	Workload string `json:"workload"` // "dense" | "idle"
+	Nodes    int    `json:"nodes"`
+	Cycles   uint64 `json:"cycles"`
+
+	Fast nodeBenchVariant `json:"fast"`
+	Slow nodeBenchVariant `json:"slow"`
+
+	// FastSpeedup is slow wall time over fast wall time (>1 means the
+	// fast paths paid off).
+	FastSpeedup float64 `json:"fast_speedup"`
+}
+
+// denseNodeProgram is an L1-resident ALU loop: every cycle retires an
+// instruction, so the predecode cache and fetch memo are on the critical
+// path and the quiescent skip never fires.
+func denseNodeProgram() *riscv.Asm {
+	a := riscv.NewAsm()
+	a.LI(riscv.T0, 1)
+	a.LI(riscv.T1, 3)
+	a.Label("loop")
+	for i := 0; i < 8; i++ {
+		a.ADD(riscv.T2, riscv.T2, riscv.T0)
+		a.XOR(riscv.T3, riscv.T3, riscv.T1)
+	}
+	a.J("loop")
+	return a
+}
+
+// idleNodeProgram parks the hart in WFI with no interrupt source armed:
+// the whole blade is quiescent every window, the shape the bulk skip
+// turns into arithmetic.
+func idleNodeProgram() *riscv.Asm {
+	a := riscv.NewAsm()
+	a.Label("idle")
+	a.WFI()
+	a.J("idle")
+	return a
+}
+
+// buildNodeRack stands up n single-hart blades behind one idle ToR.
+func buildNodeRack(n int, workload string, fast bool, linkLat clock.Cycles) (*fame.Runner, []*soc.SoC, error) {
+	prog := idleNodeProgram()
+	if workload == "dense" {
+		prog = denseNodeProgram()
+	}
+	bin, err := prog.Bytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	tor := switchmodel.New(switchmodel.Config{Name: "tor", Ports: n})
+	r := fame.NewRunner()
+	reg := obs.NewRegistry("nodebench")
+	socs := make([]*soc.SoC, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := soc.New(soc.Config{
+			Name:  fmt.Sprintf("n%d", i),
+			Cores: 1,
+			MAC:   ethernet.MAC(0x0200_0000_0100 + uint64(i)),
+		}, bin)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.SetQuiescentSkip(fast)
+		s.SetFetchMemo(fast)
+		s.SetDecodeCache(fast)
+		s.EnableMetrics(reg)
+		r.Add(s)
+		socs = append(socs, s)
+	}
+	r.Add(tor)
+	for i, s := range socs {
+		if err := r.Connect(s, 0, tor, i, linkLat); err != nil {
+			return nil, nil, err
+		}
+	}
+	return r, socs, nil
+}
+
+// nodeBenchVariantRun measures one (workload, setting) pair, best wall
+// time of reps, each rep on a fresh rack with one unbilled warm-up slice.
+func nodeBenchVariantRun(nodes, rounds, reps int, linkLat clock.Cycles, workload string, fast bool) (nodeBenchVariant, clock.Cycles, error) {
+	var v nodeBenchVariant
+	cycles := clock.Cycles(rounds) * linkLat
+	best := int64(-1)
+	for rep := 0; rep < reps; rep++ {
+		r, socs, err := buildNodeRack(nodes, workload, fast, linkLat)
+		if err != nil {
+			return v, 0, err
+		}
+		if _, err := r.Measure(4*linkLat, clock.DefaultTargetClock, false); err != nil {
+			return v, 0, err
+		}
+		// Counters are reported as deltas over the measured window, so the
+		// warm-up slice never inflates MIPS or the skipped share.
+		warmInstret := make([]uint64, len(socs))
+		warmSkipped := make([]uint64, len(socs))
+		for i, s := range socs {
+			warmInstret[i] = s.InstretTotal()
+			warmSkipped[i] = s.SkippedCycles()
+		}
+		rate, err := r.Measure(cycles, clock.DefaultTargetClock, false)
+		if err != nil {
+			return v, 0, err
+		}
+		wall := rate.Wall.Nanoseconds()
+		if best >= 0 && wall >= best {
+			continue
+		}
+		best = wall
+		sec := float64(wall) / 1e9
+		v = nodeBenchVariant{WallNanos: wall, SimHz: float64(rate.EffectiveHz())}
+		var instrs, skipped uint64
+		for i, s := range socs {
+			st := nodeBenchNode{Name: s.Name(), Instret: s.InstretTotal() - warmInstret[i], SkippedCycles: s.SkippedCycles() - warmSkipped[i]}
+			if sec > 0 {
+				st.MIPS = float64(st.Instret) / sec / 1e6
+			}
+			instrs += st.Instret
+			skipped += st.SkippedCycles
+			v.PerNode = append(v.PerNode, st)
+		}
+		if sec > 0 {
+			v.MIPS = float64(instrs) / sec / 1e6
+		}
+		v.SkippedPct = 100 * float64(skipped) / float64(uint64(cycles)*uint64(nodes))
+	}
+	return v, cycles, nil
+}
+
+// benchNodePass runs both workloads in both settings.
+func benchNodePass(nodes, rounds, reps int, linkLat clock.Cycles) ([]nodeBenchResult, error) {
+	var out []nodeBenchResult
+	for _, workload := range []string{"dense", "idle"} {
+		res := nodeBenchResult{Workload: workload, Nodes: nodes}
+		var err error
+		var cycles clock.Cycles
+		if res.Fast, cycles, err = nodeBenchVariantRun(nodes, rounds, reps, linkLat, workload, true); err != nil {
+			return nil, fmt.Errorf("node bench %s fast: %w", workload, err)
+		}
+		if res.Slow, _, err = nodeBenchVariantRun(nodes, rounds, reps, linkLat, workload, false); err != nil {
+			return nil, fmt.Errorf("node bench %s slow: %w", workload, err)
+		}
+		res.Cycles = uint64(cycles)
+		if res.Fast.WallNanos > 0 {
+			res.FastSpeedup = float64(res.Slow.WallNanos) / float64(res.Fast.WallNanos)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

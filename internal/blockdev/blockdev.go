@@ -236,3 +236,17 @@ func (d *Device) Tick(now clock.Cycles) {
 func (d *Device) IntrPending() bool {
 	return d.intrEn && len(d.completions) > 0
 }
+
+// Quiescent reports whether Tick is a pure no-op: no tracker is busy, so
+// no completion can retire at any future cycle. (Queued completions are
+// static state — they only change under MMIO, which cannot happen while
+// the cores are idle — so they do not block quiescence; IntrPending is
+// checked separately by the scheduler.)
+func (d *Device) Quiescent() bool {
+	for i := range d.trackers {
+		if d.trackers[i].busy {
+			return false
+		}
+	}
+	return true
+}

@@ -71,6 +71,11 @@ type Cache struct {
 	parent MemLevel
 	stats  Stats
 	tick   uint64 // global LRU counter
+	// gen counts residency changes (refills, flushes, restores). Callers
+	// holding a (set, way) handle from Lookup compare generations to know
+	// whether the handle can still name the same line. Derived state only:
+	// excluded from snapshots.
+	gen uint64
 }
 
 // New builds a cache over the given parent level.
@@ -161,7 +166,43 @@ func (c *Cache) Access(now clock.Cycles, addr uint64, write bool) clock.Cycles {
 	t = c.parent.AccessLine(t, lineAddr, false)
 
 	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	c.gen++
 	return t
+}
+
+// Gen returns the residency generation counter. It advances whenever a
+// line is filled, flushed or the cache is restored from a checkpoint, so
+// any (set, way) handle obtained from Lookup is valid only while Gen is
+// unchanged.
+func (c *Cache) Gen() uint64 { return c.gen }
+
+// Lookup reports whether the line holding addr is resident, and if so at
+// which (set, way). It performs no state mutation — callers that want hit
+// accounting must follow up with Touch.
+func (c *Cache) Lookup(addr uint64) (set, way int, ok bool) {
+	s, tag := c.index(addr)
+	for i, w := range c.sets[s] {
+		if w.valid && w.tag == tag {
+			return int(s), i, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Touch replays the hit path for a known-resident (set, way) handle:
+// identical LRU, dirty-bit and counter mutations to Access on a hit, and
+// the identical completion cycle. The handle must come from Lookup (or a
+// remembered Access hit) under the current Gen; Touch does not re-check
+// the tag.
+func (c *Cache) Touch(now clock.Cycles, set, way int, write bool) clock.Cycles {
+	c.tick++
+	ln := &c.sets[set][way]
+	ln.lru = c.tick
+	if write {
+		ln.dirty = true
+	}
+	c.stats.Hits++
+	return now + c.cfg.HitLatency
 }
 
 // Contains reports whether the line holding addr is resident (for tests
@@ -191,6 +232,7 @@ func (c *Cache) Flush(now clock.Cycles) clock.Cycles {
 			*ln = line{}
 		}
 	}
+	c.gen++
 	return t
 }
 

@@ -66,5 +66,6 @@ func (c *Cache) Restore(r *snapshot.Reader) error {
 	c.tick = tick
 	c.stats = stats
 	c.sets = fresh
+	c.gen++ // residency may have changed wholesale; invalidate Lookup handles
 	return nil
 }

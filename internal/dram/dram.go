@@ -19,6 +19,7 @@
 package dram
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/clock"
@@ -203,6 +204,23 @@ func (m *Model) Access(now clock.Cycles, addr uint64, write bool) clock.Cycles {
 	return done
 }
 
+// IdleAt reports whether the controller is provably idle at cycle now: the
+// shared bus is free and every bank has finished its last transfer. While
+// idle, no controller state evolves on its own (readyAt/busFreeAt are
+// timestamps, open rows are static), so cycles can be skipped without
+// changing any observable or checkpointed state.
+func (m *Model) IdleAt(now clock.Cycles) bool {
+	if m.busFreeAt > now {
+		return false
+	}
+	for i := range m.banks {
+		if m.banks[i].readyAt > now {
+			return false
+		}
+	}
+	return true
+}
+
 // --- functional backing store ---
 
 func (m *Model) chunk(addr uint64) []byte {
@@ -239,6 +257,59 @@ func (m *Model) WriteBytes(addr uint64, buf []byte) {
 		k := copy(c[off:], buf[n:])
 		n += k
 	}
+}
+
+// LoadLE reads a little-endian value of 1, 2, 4 or 8 bytes that does not
+// cross a functional chunk boundary, without staging through a temporary
+// buffer. ok=false means the access straddles a chunk (or size is odd) and
+// the caller must fall back to ReadBytes.
+func (m *Model) LoadLE(addr uint64, size int) (v uint64, ok bool) {
+	if addr+uint64(size) > m.cfg.CapacityBytes {
+		panic(fmt.Sprintf("dram: functional read [%#x,+%d) beyond capacity", addr, size))
+	}
+	off := addr & (chunkSize - 1)
+	if off+uint64(size) > chunkSize {
+		return 0, false
+	}
+	c := m.chunk(addr)
+	switch size {
+	case 1:
+		return uint64(c[off]), true
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(c[off:])), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(c[off:])), true
+	case 8:
+		return binary.LittleEndian.Uint64(c[off:]), true
+	}
+	return 0, false
+}
+
+// StoreLE writes the low size bytes of v little-endian at addr when the
+// access fits inside one functional chunk. ok=false means the caller must
+// fall back to WriteBytes.
+func (m *Model) StoreLE(addr uint64, size int, v uint64) (ok bool) {
+	if addr+uint64(size) > m.cfg.CapacityBytes {
+		panic(fmt.Sprintf("dram: functional write [%#x,+%d) beyond capacity", addr, size))
+	}
+	off := addr & (chunkSize - 1)
+	if off+uint64(size) > chunkSize {
+		return false
+	}
+	c := m.chunk(addr)
+	switch size {
+	case 1:
+		c[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(c[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(c[off:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(c[off:], v)
+	default:
+		return false
+	}
+	return true
 }
 
 // Read64 reads an 8-byte little-endian word of functional state.

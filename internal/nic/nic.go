@@ -408,6 +408,49 @@ func (n *NIC) Tick(now clock.Cycles, in token.Token) token.Token {
 	return n.sendFlit(now)
 }
 
+// Quiescent reports whether, fed only empty input tokens, every future
+// Tick would be a pure no-op apart from the cycle register and the rate
+// limiter's token-bucket refill: nothing staged to send, nothing buffered
+// to deliver, no packet mid-assembly. Under that condition a window of
+// idle cycles can be replayed arithmetically by SkipIdle.
+func (n *NIC) Quiescent() bool {
+	return len(n.pipeline) == 0 && len(n.sendReqs) == 0 &&
+		len(n.pktBuf) == 0 && len(n.rxAssembly) == 0
+}
+
+// SkipIdle advances a quiescent NIC across cycles [start, start+count) in
+// one step, bit-identical to count calls of Tick(start+i, token.Empty):
+// the cycle register lands on the last skipped cycle and the token bucket
+// receives exactly the refills those cycles would have granted. The caller
+// must have checked Quiescent; every produced output token is token.Empty.
+func (n *NIC) SkipIdle(start clock.Cycles, count int) {
+	if count <= 0 {
+		return
+	}
+	n.cycle = start + clock.Cycles(count) - 1
+	// Refills granted in [start, start+count): every cycle when p == 1,
+	// otherwise one per multiple of p in the window. Because refills only
+	// add and sends are absent, clamping once at the end is identical to
+	// clamping every cycle.
+	var refills int64
+	if n.rateP == 1 {
+		refills = int64(count)
+	} else {
+		p := clock.Cycles(n.rateP)
+		last := start + clock.Cycles(count) - 1
+		refills = int64(last / p)
+		if start > 0 {
+			refills -= int64((start - 1) / p)
+		} else {
+			refills++ // cycle 0 is a multiple of p
+		}
+	}
+	n.rateCounter += refills * int64(n.rateK)
+	if n.rateCounter > n.rateBurst {
+		n.rateCounter = n.rateBurst
+	}
+}
+
 // String summarises the NIC for diagnostics.
 func (n *NIC) String() string {
 	return fmt.Sprintf("NIC(%v: sent=%d recv=%d drop=%d)", n.cfg.MAC, n.stats.PacketsSent, n.stats.PacketsRecv, n.stats.RecvDropped)

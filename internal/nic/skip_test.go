@@ -1,0 +1,73 @@
+package nic
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/snapshot"
+	"repro/internal/token"
+)
+
+func nicState(t *testing.T, n *NIC) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := snapshot.NewWriter(&buf, snapshot.Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Section("nic")
+	if err := n.Save(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSkipIdleMatchesTickLoop checks the arithmetic idle skip against the
+// per-cycle Tick loop across rate-limiter shapes, window starts and
+// lengths: the full snapshotted state must be bit-identical, and the
+// skipped window must produce no output tokens.
+func TestSkipIdleMatchesTickLoop(t *testing.T) {
+	cases := []struct {
+		k, p   uint32
+		warm   int // ticks before the window, to vary rateCounter
+		start  clock.Cycles
+		count  int
+		masked uint64 // intrMask, to vary static controller state
+	}{
+		{1, 1, 0, 0, 1, 0},
+		{1, 1, 3, 3, 100, IntrSend},
+		{3, 7, 0, 0, 50, 0},
+		{3, 7, 5, 5, 1, 0},
+		{3, 7, 5, 5, 6, IntrRecv},
+		{2, 5, 1, 1, 9999, 0},
+		{5, 400, 13, 13, 12345, IntrSend | IntrRecv},
+	}
+	for _, tc := range cases {
+		loop := New(DefaultConfig(0xaa), nil)
+		skip := New(DefaultConfig(0xaa), nil)
+		for _, n := range []*NIC{loop, skip} {
+			n.SetRateLimit(tc.k, tc.p)
+			n.MMIOStore(RegIntrMask, tc.masked)
+			for i := 0; i < tc.warm; i++ {
+				n.Tick(clock.Cycles(i), token.Empty)
+			}
+			if !n.Quiescent() {
+				t.Fatalf("k=%d p=%d: warm NIC not quiescent", tc.k, tc.p)
+			}
+		}
+		for i := 0; i < tc.count; i++ {
+			if out := loop.Tick(tc.start+clock.Cycles(i), token.Empty); out.Valid {
+				t.Fatalf("k=%d p=%d: idle NIC produced a token", tc.k, tc.p)
+			}
+		}
+		skip.SkipIdle(tc.start, tc.count)
+		if a, b := nicState(t, loop), nicState(t, skip); !bytes.Equal(a, b) {
+			t.Errorf("k=%d p=%d start=%d count=%d: SkipIdle state diverges from Tick loop (counter %d vs %d)",
+				tc.k, tc.p, tc.start, tc.count, loop.rateCounter, skip.rateCounter)
+		}
+	}
+}

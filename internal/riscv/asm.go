@@ -472,6 +472,11 @@ func (a *Asm) MRET() { a.emit(encI(0x302, 0, 0, 0, opSystem)) }
 // FENCE emits fence (a timing no-op in this single-hart model).
 func (a *Asm) FENCE() { a.emit(encI(0, 0, 0, 0, opFence)) }
 
+// FENCEI emits fence.i, which synchronises the instruction stream with
+// prior data stores (required between patching code and executing it when
+// the predecode cache is enabled).
+func (a *Asm) FENCEI() { a.emit(encI(0, 0, 1, 0, opFence)) }
+
 // --- pseudo-instructions ---
 
 // LI loads a 32-bit signed constant into rd (1-2 instructions).

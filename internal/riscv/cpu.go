@@ -76,11 +76,20 @@ type CPU struct {
 	bus    Bus
 	timing Timing
 	stats  Stats
+
+	// Predecode fast path (derived state, never snapshotted).
+	decodeOn bool
+	dec      []decEntry
+	fastBus  FetchFaster // bus's optional fast-fetch view, asserted once
 }
 
-// New builds a hart over the given bus, starting at entry.
+// New builds a hart over the given bus, starting at entry. The predecode
+// fast path is on by default; SetDecodeCache(false) restores the plain
+// fetch-and-crack path.
 func New(bus Bus, hartID uint64, entry uint64) *CPU {
-	return &CPU{PC: entry, HartID: hartID, bus: bus, timing: DefaultTiming()}
+	c := &CPU{PC: entry, HartID: hartID, bus: bus, timing: DefaultTiming(), decodeOn: true}
+	c.fastBus, _ = bus.(FetchFaster)
+	return c
 }
 
 // Stats returns a snapshot of the instruction counters.
@@ -148,16 +157,25 @@ func (c *CPU) Step() clock.Cycles {
 		return 1
 	}
 
-	word, fetchLat := c.bus.Fetch(c.PC)
+	word, fetchLat, ent, predecoded := c.fetchPredecode()
 	cost := c.timing.Base + fetchLat
 	nextPC := c.PC + 4
 
-	op := word & 0x7f
-	rd := word >> 7 & 0x1f
-	rs1 := word >> 15 & 0x1f
-	rs2 := word >> 20 & 0x1f
-	f3 := word >> 12 & 7
-	f7 := word >> 25
+	var op, rd, rs1, rs2, f3, f7 uint32
+	if predecoded {
+		op, rd, rs1, rs2, f3, f7 = ent.op, ent.rd, ent.rs1, ent.rs2, ent.f3, ent.f7
+	} else {
+		op = word & 0x7f
+		rd = word >> 7 & 0x1f
+		rs1 = word >> 15 & 0x1f
+		rs2 = word >> 20 & 0x1f
+		f3 = word >> 12 & 7
+		f7 = word >> 25
+		if ent != nil {
+			*ent = decEntry{pc: c.PC, word: word, valid: true,
+				op: op, rd: rd, rs1: rs1, rs2: rs2, f3: f3, f7: f7}
+		}
+	}
 
 	r1 := c.X[rs1]
 	r2 := c.X[rs2]
@@ -247,6 +265,12 @@ func (c *CPU) Step() clock.Cycles {
 			return c.illegal(word)
 		}
 		cost += c.bus.Store(addr, size, r2)
+		// Self-modifying code: drop any predecoded entries the store may
+		// have overwritten. (Stores by other agents — DMA, other harts —
+		// are invalidated by the SoC, which sees every bus store.)
+		if c.dec != nil {
+			c.InvalidateDecode(addr, size)
+		}
 	case opImm:
 		imm := sext(uint64(word>>20), 12)
 		switch f3 {
@@ -348,7 +372,12 @@ func (c *CPU) Step() clock.Cycles {
 		}
 		writeback = true
 	case opFence:
-		// Ordering no-op on this single-hart model.
+		// Plain FENCE is an ordering no-op on this single-hart model.
+		// FENCE.I (f3=1) synchronises the instruction stream with prior
+		// stores: the predecode cache must be rebuilt from memory.
+		if f3 == 1 {
+			c.InvalidateDecodeAll()
+		}
 	case opSystem:
 		imm := word >> 20
 		switch {

@@ -1,0 +1,109 @@
+package riscv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// smcProgram builds a self-modifying loop: each of three iterations
+// executes a target instruction (initially ADDI A0,A0,1), then stores a
+// replacement word (ADDI A0,A0,100) over it, optionally followed by
+// fence.i. Expected A0 after the loop: 1 + 100 + 100 = 201.
+func smcProgram(fencei bool) []uint32 {
+	a := NewAsm()
+	a.LI(A0, 0)
+	a.LI(S0, 0)
+	a.AUIPC(S1, 0) // S1 = address of this AUIPC
+	auipcPC := a.PC() - 4
+	a.Label("loop")
+	targetOff := int32(a.PC() - auipcPC)
+	a.Word(encI(1, uint32(A0), 0, uint32(A0), opImm)) // target: ADDI A0, A0, 1
+	a.LI(T1, int32(encI(100, uint32(A0), 0, uint32(A0), opImm)))
+	a.SW(T1, S1, targetOff)
+	if fencei {
+		a.FENCEI()
+	}
+	a.ADDI(S0, S0, 1)
+	a.LI(T3, 3)
+	a.BLT(S0, T3, "loop")
+	a.EBREAK()
+	return a.MustAssemble()
+}
+
+func runWords(t *testing.T, words []uint32, decode bool, maxSteps int) *CPU {
+	t.Helper()
+	bus := newFlatBus(1 << 16)
+	bus.loadProgram(words)
+	cpu := New(bus, 0, 0)
+	cpu.SetDecodeCache(decode)
+	for i := 0; i < maxSteps && !cpu.Halted; i++ {
+		cpu.Step()
+	}
+	if !cpu.Halted {
+		t.Fatal("program did not halt")
+	}
+	return cpu
+}
+
+// TestSelfModifyingCode runs a program that patches its own instruction
+// stream, with and without fence.i, and asserts the predecode cache
+// changes nothing: same result, same architectural state, same stats.
+func TestSelfModifyingCode(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		fencei bool
+	}{
+		{"with-fencei", true},
+		// Same-hart stores invalidate the predecode cache directly, so the
+		// patched stream must be honoured even without the fence.
+		{"without-fencei", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			words := smcProgram(tc.fencei)
+			on := runWords(t, words, true, 1000)
+			off := runWords(t, words, false, 1000)
+			if on.X[A0] != 201 {
+				t.Errorf("A0 = %d, want 201", on.X[A0])
+			}
+			if on.X != off.X || on.PC != off.PC || on.stats != off.stats {
+				t.Errorf("decode cache diverged: on A0=%d off A0=%d", on.X[A0], off.X[A0])
+			}
+		})
+	}
+}
+
+// TestDecodeCacheRandomToggle steps a self-modifying program in lockstep
+// on two harts — one with the decode cache permanently off, one whose
+// cache is toggled pseudo-randomly mid-run — and asserts bit-identical
+// architectural state and per-step cycle cost throughout.
+func TestDecodeCacheRandomToggle(t *testing.T) {
+	words := smcProgram(true)
+	check := func(seed uint64) bool {
+		mk := func(decode bool) *CPU {
+			bus := newFlatBus(1 << 16)
+			bus.latency = 1 // make fetch latency part of the comparison
+			bus.loadProgram(words)
+			cpu := New(bus, 0, 0)
+			cpu.SetDecodeCache(decode)
+			return cpu
+		}
+		ref, tog := mk(false), mk(true)
+		s := seed
+		for step := 0; !ref.Halted && step < 1000; step++ {
+			if step%5 == 0 {
+				tog.SetDecodeCache(s&1 == 1)
+				s = s*6364136223846793005 + 1442695040888963407
+			}
+			c1 := ref.Step()
+			c2 := tog.Step()
+			if c1 != c2 || ref.X != tog.X || ref.PC != tog.PC || ref.stats != tog.stats {
+				t.Logf("diverged at step %d: cost %d vs %d, pc %#x vs %#x", step, c1, c2, ref.PC, tog.PC)
+				return false
+			}
+		}
+		return ref.Halted && tog.Halted
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -7,7 +7,10 @@ import (
 )
 
 // execBinOp runs a single register-register instruction on fresh state
-// with the given operand values and returns rd.
+// with the given operand values and returns rd. Every program runs twice
+// — predecode cache on and off — and the two final architectural states
+// must be bit-identical, so all the property tests below double as
+// fast-path equivalence checks.
 func execBinOp(t *testing.T, emit func(a *Asm), x, y uint64) uint64 {
 	t.Helper()
 	a := NewAsm()
@@ -15,16 +18,25 @@ func execBinOp(t *testing.T, emit func(a *Asm), x, y uint64) uint64 {
 	a.LI64(T1, y)
 	emit(a)
 	a.EBREAK()
-	bus := newFlatBus(1 << 16)
-	bus.loadProgram(a.MustAssemble())
-	cpu := New(bus, 0, 0)
-	for i := 0; i < 100 && !cpu.Halted; i++ {
-		cpu.Step()
+	words := a.MustAssemble()
+	run := func(decode bool) *CPU {
+		bus := newFlatBus(1 << 16)
+		bus.loadProgram(words)
+		cpu := New(bus, 0, 0)
+		cpu.SetDecodeCache(decode)
+		for i := 0; i < 100 && !cpu.Halted; i++ {
+			cpu.Step()
+		}
+		if !cpu.Halted {
+			t.Fatal("program did not halt")
+		}
+		return cpu
 	}
-	if !cpu.Halted {
-		t.Fatal("program did not halt")
+	on, off := run(true), run(false)
+	if on.X != off.X || on.PC != off.PC || on.stats != off.stats {
+		t.Fatalf("decode cache changed architectural state: on=%v off=%v", on.X, off.X)
 	}
-	return cpu.X[A0]
+	return on.X[A0]
 }
 
 // TestALUAgainstGoSemantics cross-checks every RV64 register-register ALU

@@ -85,5 +85,8 @@ func (c *CPU) Restore(r *snapshot.Reader) error {
 	c.Halted = halted
 	c.WaitingForInterrupt = wfi
 	c.stats = stats
+	// The predecode cache is derived state: the checkpoint carries memory
+	// contents that may disagree with whatever was cached, so start cold.
+	c.InvalidateDecodeAll()
 	return nil
 }

@@ -1,0 +1,87 @@
+package soc
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file wires the blade's compute loop into the observability layer,
+// following the same rules as the fame runner instruments: a nil
+// *socMetrics disables everything (one pointer nil check per TickBatch),
+// enabled-path records are uncontended atomic adds, and wall-clock reads
+// are paid only on sampled batches.
+//
+// Metric names, all under the node_ prefix:
+//
+//	node_instrs_total{node=N}          instructions retired, summed over harts
+//	node_skipped_cycles_total{node=N}  target cycles skipped while quiescent
+//	node_mips{node=N}                  gauge: sampled sim rate, million instrs/s
+//
+// The counters are exact (published as deltas each TickBatch); the MIPS
+// gauge is a host-side rate sampled once per mipsSampleMask+1 batches.
+type socMetrics struct {
+	instrs  *obs.Counter
+	skipped *obs.Counter
+	mips    *obs.Gauge
+
+	// Local accumulators so restores (which rewind the hart counters)
+	// never make a counter go backwards.
+	lastInstret uint64
+	lastSkipped uint64
+
+	batches     uint64
+	sampInstret uint64
+	sampTime    time.Time
+}
+
+// mipsSampleMask selects the batches that pay a time.Now() read for the
+// MIPS gauge: batch indices where batches&mipsSampleMask == 0.
+const mipsSampleMask = 31
+
+// EnableMetrics attaches the blade to a registry, publishing the node_*
+// instruments described above. Passing nil detaches (the default). Like
+// the fame runner's EnableMetrics, call it between runs, not mid-run.
+func (s *SoC) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		s.metrics = nil
+		return
+	}
+	s.metrics = &socMetrics{
+		instrs:      reg.Counter(obs.Label("node_instrs_total", "node", s.cfg.Name)),
+		skipped:     reg.Counter(obs.Label("node_skipped_cycles_total", "node", s.cfg.Name)),
+		mips:        reg.Gauge(obs.Label("node_mips", "node", s.cfg.Name)),
+		lastInstret: s.InstretTotal(),
+		lastSkipped: s.skipped,
+	}
+}
+
+// publishMetrics flushes this batch's instruction/skip deltas and, on
+// sampled batches, updates the MIPS gauge. Called once per TickBatch when
+// metrics are enabled.
+func (s *SoC) publishMetrics() {
+	m := s.metrics
+	total := s.InstretTotal()
+	if total >= m.lastInstret {
+		if d := total - m.lastInstret; d > 0 {
+			m.instrs.Add(d)
+		}
+	}
+	m.lastInstret = total
+	if d := s.skipped - m.lastSkipped; d > 0 {
+		m.skipped.Add(d)
+	}
+	m.lastSkipped = s.skipped
+
+	if m.batches&mipsSampleMask == 0 {
+		now := time.Now()
+		if !m.sampTime.IsZero() {
+			if dt := now.Sub(m.sampTime).Seconds(); dt > 0 {
+				m.mips.Set(int64(float64(total-m.sampInstret) / dt / 1e6))
+			}
+		}
+		m.sampTime = now
+		m.sampInstret = total
+	}
+	m.batches++
+}

@@ -2,7 +2,6 @@ package soc
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/clock"
 	"repro/internal/snapshot"
@@ -47,18 +46,13 @@ func (s *SoC) Save(w *snapshot.Writer) error {
 	if err := s.bdev.Save(w); err != nil {
 		return err
 	}
-	bases := make([]uint64, 0, len(s.devices))
-	for base := range s.devices {
-		bases = append(bases, base)
-	}
-	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
-	w.Uvarint(uint64(len(bases)))
-	for _, base := range bases {
-		dev, ok := s.devices[base].(snapshot.Snapshotter)
+	w.Uvarint(uint64(len(s.devices)))
+	for _, sl := range s.devices {
+		dev, ok := sl.dev.(snapshot.Snapshotter)
 		if !ok {
-			return fmt.Errorf("soc %s: device at %#x is not snapshottable", s.cfg.Name, base)
+			return fmt.Errorf("soc %s: device at %#x is not snapshottable", s.cfg.Name, sl.base)
 		}
-		w.U64(base)
+		w.U64(sl.base)
 		if err := dev.Save(w); err != nil {
 			return err
 		}
@@ -122,8 +116,8 @@ func (s *SoC) Restore(r *snapshot.Reader) error {
 		if err := r.Err(); err != nil {
 			return err
 		}
-		dev, present := s.devices[base]
-		if !present {
+		dev := s.deviceAt(base)
+		if dev == nil {
 			return fmt.Errorf("soc %s: checkpoint device at %#x not registered on this blade", s.cfg.Name, base)
 		}
 		snap, ok := dev.(snapshot.Snapshotter)

@@ -17,6 +17,7 @@ package soc
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/blockdev"
 	"repro/internal/cache"
@@ -49,7 +50,10 @@ const (
 )
 
 // Device is a memory-mapped peripheral attachable to the SoC (Table II's
-// accelerator slots use this interface too).
+// accelerator slots use this interface too). Devices are passive: they
+// act only under MMIO and report their interrupt line on demand, which is
+// what lets the quiescent fast path skip cycles without consulting them
+// beyond IntrPending.
 type Device interface {
 	// MMIOLoad services a read at the given offset within the device
 	// window.
@@ -92,12 +96,27 @@ type SoC struct {
 	bdev *blockdev.Device
 
 	cores []*core
-	// devices maps MMIO base -> device for the generic accelerator slots.
-	devices map[uint64]Device
+	// devices holds the generic accelerator slots sorted by MMIO base:
+	// decode is a binary search and iteration order is deterministic.
+	devices []mmioSlot
 
 	console []byte
 	cycle   clock.Cycles
 	halted  bool
+
+	// noSkip disables the bulk quiescent-cycle fast path (default on).
+	noSkip bool
+	// skipped counts target cycles advanced arithmetically while the blade
+	// was provably idle. Observability only — never snapshotted, so it
+	// cannot perturb StateHash.
+	skipped uint64
+
+	metrics *socMetrics
+}
+
+type mmioSlot struct {
+	base uint64
+	dev  Device
 }
 
 // core bundles one hart with its private L1s and bus adapter.
@@ -114,7 +133,7 @@ func New(cfg Config, program []byte) (*SoC, error) {
 	if cfg.Cores < 1 || cfg.Cores > 4 {
 		return nil, fmt.Errorf("soc: %d cores outside Table I's 1-4 range", cfg.Cores)
 	}
-	s := &SoC{cfg: cfg, devices: make(map[uint64]Device)}
+	s := &SoC{cfg: cfg}
 	s.dram = dram.New(cfg.DRAM)
 
 	l2cfg := cfg.L2
@@ -140,9 +159,11 @@ func New(cfg Config, program []byte) (*SoC, error) {
 			l1d = cache.DefaultL1D()
 		}
 		b := &coreBus{
-			s:   s,
-			l1i: cache.New(l1i, s.l2),
-			l1d: cache.New(l1d, s.l2),
+			s:          s,
+			l1i:        cache.New(l1i, s.l2),
+			l1d:        cache.New(l1d, s.l2),
+			ilineBytes: uint64(l1i.LineBytes),
+			ihitLat:    l1i.HitLatency,
 		}
 		c := &core{cpu: riscv.New(b, uint64(i), DRAMBase), bus: b}
 		s.cores = append(s.cores, c)
@@ -160,15 +181,28 @@ func (s *SoC) loadProgram(program []byte) {
 func dramOffset(addr uint64) uint64 { return addr - DRAMBase }
 
 // RegisterDevice attaches an accelerator or custom peripheral at the given
-// MMIO base (must not collide with the built-in windows).
+// MMIO base (must not collide with the built-in windows). The slot list
+// stays sorted by base so MMIO decode is a binary search.
 func (s *SoC) RegisterDevice(base uint64, dev Device) error {
 	if base == NICBase || base == BlockDevBase || base == UARTBase {
 		return fmt.Errorf("soc: MMIO base %#x collides with a built-in device", base)
 	}
-	if _, dup := s.devices[base]; dup {
+	i := sort.Search(len(s.devices), func(i int) bool { return s.devices[i].base >= base })
+	if i < len(s.devices) && s.devices[i].base == base {
 		return fmt.Errorf("soc: MMIO base %#x registered twice", base)
 	}
-	s.devices[base] = dev
+	s.devices = append(s.devices, mmioSlot{})
+	copy(s.devices[i+1:], s.devices[i:])
+	s.devices[i] = mmioSlot{base: base, dev: dev}
+	return nil
+}
+
+// deviceAt returns the registered device at exactly base, or nil.
+func (s *SoC) deviceAt(base uint64) Device {
+	i := sort.Search(len(s.devices), func(i int) bool { return s.devices[i].base >= base })
+	if i < len(s.devices) && s.devices[i].base == base {
+		return s.devices[i].dev
+	}
 	return nil
 }
 
@@ -212,15 +246,38 @@ func (s *SoC) Name() string { return s.cfg.Name }
 // NumPorts implements fame.Endpoint: the blade's single network port.
 func (s *SoC) NumPorts() int { return 1 }
 
-// TickBatch implements fame.Endpoint by ticking the whole blade one cycle
-// at a time: NIC token exchange, device retirement, then every hart.
+// TickBatch implements fame.Endpoint. When the whole blade is provably
+// quiescent for the token window it advances the target clock
+// arithmetically (bulk quiescent-cycle skip); otherwise it ticks one
+// cycle at a time: NIC token exchange, device retirement, then every
+// hart. Both paths are bit-identical in every checkpointed observable.
 func (s *SoC) TickBatch(n int, in, out []*token.Batch) {
-	dense := in[0].Dense()
+	if s.canSkip(in[0]) {
+		s.skipQuiescent(n)
+	} else {
+		s.tickCycles(n, in[0], out[0])
+	}
+	if s.metrics != nil {
+		s.publishMetrics()
+	}
+}
+
+// tickCycles is the general per-cycle path. The inbound batch is walked
+// with a slot cursor (offsets are strictly increasing) instead of
+// expanding it to a dense slice, so an idle window allocates nothing.
+func (s *SoC) tickCycles(n int, in, out *token.Batch) {
+	slots := in.Slots
+	si := 0
 	for i := 0; i < n; i++ {
 		now := s.cycle + clock.Cycles(i)
-		outTok := s.nic.Tick(now, dense[i])
+		tok := token.Empty
+		if si < len(slots) && int(slots[si].Offset) == i {
+			tok = slots[si].Tok
+			si++
+		}
+		outTok := s.nic.Tick(now, tok)
 		if outTok.Valid {
-			out[0].Put(i, outTok)
+			out.Put(i, outTok)
 		}
 		s.bdev.Tick(now)
 		if s.halted {
@@ -244,13 +301,107 @@ func (s *SoC) TickBatch(n int, in, out []*token.Batch) {
 	s.cycle += clock.Cycles(n)
 }
 
+// canSkip reports whether a whole token window can be skipped without any
+// observable difference from per-cycle ticking. The conditions are
+// conservative: anything that evolves per cycle — a busy DMA tracker, an
+// in-flight NIC packet, a DRAM transfer still completing, a runnable hart
+// — disables the skip.
+func (s *SoC) canSkip(in *token.Batch) bool {
+	if s.noSkip || !in.IsEmpty() {
+		return false
+	}
+	if !s.nic.Quiescent() || !s.bdev.Quiescent() || !s.dram.IdleAt(s.cycle) {
+		return false
+	}
+	if s.halted {
+		// Powered off: harts are never ticked, interrupts are never looked
+		// at, so NIC/blockdev/DRAM idleness is the whole condition.
+		return true
+	}
+	if s.nic.IntrPending() || s.bdev.IntrPending() || s.devIntrPending() {
+		return false
+	}
+	for _, c := range s.cores {
+		if !c.cpu.Halted && !c.cpu.WaitingForInterrupt {
+			return false
+		}
+	}
+	return true
+}
+
+// skipQuiescent reproduces n per-cycle ticks of a quiescent blade in O(1):
+// the NIC replays its rate-limiter refills arithmetically, WFI harts land
+// on the same cycle/busy-time a per-cycle WFI spin would have produced,
+// and the external interrupt line (known deasserted) is applied once —
+// idempotent, hence identical to n applications. No output token is
+// produced, matching the per-cycle path on an idle blade.
+func (s *SoC) skipQuiescent(n int) {
+	last := s.cycle + clock.Cycles(n) - 1
+	s.nic.SkipIdle(s.cycle, n)
+	if !s.halted {
+		for _, c := range s.cores {
+			c.cpu.SetExternalInterrupt(false)
+			if c.cpu.Halted || c.busyUntil > last {
+				continue
+			}
+			c.cpu.Cycle = last
+			c.bus.now = last
+			c.busyUntil = last + 1
+		}
+	}
+	s.skipped += uint64(n)
+	s.cycle += clock.Cycles(n)
+}
+
 func (s *SoC) devIntrPending() bool {
-	for _, d := range s.devices {
-		if d.IntrPending() {
+	for i := range s.devices {
+		if s.devices[i].dev.IntrPending() {
 			return true
 		}
 	}
 	return false
+}
+
+// --- fast-path toggles (all default on) ---
+
+// SetQuiescentSkip toggles the bulk idle-cycle fast path.
+func (s *SoC) SetQuiescentSkip(on bool) { s.noSkip = !on }
+
+// SetFetchMemo toggles every hart's fetch-line memo in the core bus.
+func (s *SoC) SetFetchMemo(on bool) {
+	for _, c := range s.cores {
+		c.bus.memoOff = !on
+		c.bus.fetchValid = false
+	}
+}
+
+// SetDecodeCache toggles every hart's predecoded instruction cache.
+func (s *SoC) SetDecodeCache(on bool) {
+	for _, c := range s.cores {
+		c.cpu.SetDecodeCache(on)
+	}
+}
+
+// SkippedCycles reports how many target cycles the quiescent fast path
+// has skipped so far (observability only; excluded from snapshots).
+func (s *SoC) SkippedCycles() uint64 { return s.skipped }
+
+// InstretTotal sums retired instructions across all harts.
+func (s *SoC) InstretTotal() uint64 {
+	var total uint64
+	for _, c := range s.cores {
+		total += c.cpu.Stats().Instret
+	}
+	return total
+}
+
+// invalidateDecode drops predecoded entries covering [addr, addr+n) on
+// every hart: a store by any agent (another hart, NIC/blockdev DMA) may
+// overwrite code some hart has predecoded.
+func (s *SoC) invalidateDecode(addr uint64, n int) {
+	for _, c := range s.cores {
+		c.cpu.InvalidateDecode(addr, n)
+	}
 }
 
 // --- memory system plumbing ---
@@ -279,6 +430,7 @@ func (d *socDMA) ReadDMA(now clock.Cycles, addr uint64, buf []byte) clock.Cycles
 
 func (d *socDMA) WriteDMA(now clock.Cycles, addr uint64, data []byte) clock.Cycles {
 	d.s.dram.WriteBytes(dramOffset(addr), data)
+	d.s.invalidateDecode(addr, len(data))
 	return d.timeLines(now, addr, len(data), true)
 }
 
@@ -305,6 +457,19 @@ type coreBus struct {
 	l1i *cache.Cache
 	l1d *cache.Cache
 	now clock.Cycles
+
+	// Fetch-line memo: remembers where in the L1I the last-fetched line
+	// sits so sequential fetches within one line skip the full set scan.
+	// Validity is guarded by the cache's residency generation, which
+	// advances on every refill/flush/restore.
+	memoOff    bool
+	fetchValid bool
+	fetchLine  uint64
+	fetchSet   int
+	fetchWay   int
+	fetchGen   uint64
+	ilineBytes uint64
+	ihitLat    clock.Cycles
 }
 
 // L1I exposes the instruction cache for stats.
@@ -319,17 +484,65 @@ func (b *coreBus) Fetch(addr uint64) (uint32, clock.Cycles) {
 		panic(fmt.Sprintf("soc: instruction fetch outside DRAM at %#x", addr))
 	}
 	off := dramOffset(addr)
-	done := b.l1i.Access(b.now, off, false)
-	var w [4]byte
-	b.s.dram.ReadBytes(off, w[:])
-	v := uint32(w[0]) | uint32(w[1])<<8 | uint32(w[2])<<16 | uint32(w[3])<<24
+	done := b.fetchTiming(off)
+	var v uint32
+	if x, ok := b.s.dram.LoadLE(off, 4); ok {
+		v = uint32(x)
+	} else {
+		var w [4]byte
+		b.s.dram.ReadBytes(off, w[:])
+		v = uint32(w[0]) | uint32(w[1])<<8 | uint32(w[2])<<16 | uint32(w[3])<<24
+	}
 	// Hit latency 1 is already the pipeline's steady state; report only
 	// the cycles beyond a hit as stall.
-	lat := done - b.now - b.l1i.Config().HitLatency
+	lat := done - b.now - b.ihitLat
 	if lat < 0 {
 		lat = 0
 	}
 	return v, lat
+}
+
+// fetchTiming charges the L1I for a fetch at off. When the memo proves
+// the line still resident at the remembered way (same residency
+// generation), Touch replays the hit path without the set scan; otherwise
+// the full Access runs and the memo is refreshed — after Access the line
+// is always resident, so Lookup cannot fail.
+func (b *coreBus) fetchTiming(off uint64) clock.Cycles {
+	if b.memoOff {
+		return b.l1i.Access(b.now, off, false)
+	}
+	line := off / b.ilineBytes
+	if b.fetchValid && line == b.fetchLine && b.fetchGen == b.l1i.Gen() {
+		return b.l1i.Touch(b.now, b.fetchSet, b.fetchWay, false)
+	}
+	done := b.l1i.Access(b.now, off, false)
+	if set, way, ok := b.l1i.Lookup(off); ok {
+		b.fetchLine, b.fetchSet, b.fetchWay = line, set, way
+		b.fetchGen = b.l1i.Gen()
+		b.fetchValid = true
+	}
+	return done
+}
+
+// FetchFast implements riscv.FetchFaster: when the line holding addr is
+// provably still resident in the L1I at the memoized way, replay the
+// fetch timing — cache metadata mutations included — without the
+// functional read (the caller already holds the instruction word).
+// Returning ok=false performs no side effects.
+func (b *coreBus) FetchFast(addr uint64) (clock.Cycles, bool) {
+	if b.memoOff || addr < DRAMBase {
+		return 0, false
+	}
+	off := dramOffset(addr)
+	if !b.fetchValid || off/b.ilineBytes != b.fetchLine || b.fetchGen != b.l1i.Gen() {
+		return 0, false
+	}
+	done := b.l1i.Touch(b.now, b.fetchSet, b.fetchWay, false)
+	lat := done - b.now - b.ihitLat
+	if lat < 0 {
+		lat = 0
+	}
+	return lat, true
 }
 
 // Load implements riscv.Bus.
@@ -342,11 +555,14 @@ func (b *coreBus) Load(addr uint64, size int) (uint64, clock.Cycles) {
 	}
 	off := dramOffset(addr)
 	done := b.l1d.Access(b.now, off, false)
-	buf := make([]byte, size)
-	b.s.dram.ReadBytes(off, buf)
-	var v uint64
-	for i := size - 1; i >= 0; i-- {
-		v = v<<8 | uint64(buf[i])
+	v, ok := b.s.dram.LoadLE(off, size)
+	if !ok {
+		// Chunk-straddling access: stage through a buffer.
+		buf := make([]byte, size)
+		b.s.dram.ReadBytes(off, buf)
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(buf[i])
+		}
 	}
 	return v, done - b.now
 }
@@ -370,11 +586,15 @@ func (b *coreBus) Store(addr uint64, size int, v uint64) clock.Cycles {
 	}
 	off := dramOffset(addr)
 	done := b.l1d.Access(b.now, off, true)
-	buf := make([]byte, size)
-	for i := 0; i < size; i++ {
-		buf[i] = byte(v >> (8 * i))
+	if !b.s.dram.StoreLE(off, size, v) {
+		buf := make([]byte, size)
+		for i := 0; i < size; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		b.s.dram.WriteBytes(off, buf)
 	}
-	b.s.dram.WriteBytes(off, buf)
+	// The store may have overwritten code another hart predecoded.
+	b.s.invalidateDecode(addr, size)
 	return done - b.now
 }
 
@@ -386,9 +606,10 @@ func (s *SoC) decodeMMIO(addr uint64) (Device, uint64, bool) {
 	case addr >= BlockDevBase && addr < BlockDevBase+mmioWindow:
 		return bdevDevice{s.bdev}, addr - BlockDevBase, true
 	}
-	for base, dev := range s.devices {
-		if addr >= base && addr < base+mmioWindow {
-			return dev, addr - base, true
+	// Binary search the sorted slots for the window containing addr.
+	if i := sort.Search(len(s.devices), func(i int) bool { return s.devices[i].base > addr }); i > 0 {
+		if sl := &s.devices[i-1]; addr-sl.base < mmioWindow {
+			return sl.dev, addr - sl.base, true
 		}
 	}
 	return nil, 0, false

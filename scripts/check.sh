@@ -15,8 +15,32 @@ go test -race ./...
 
 echo "== bench smoke =="
 # One tiny topology, one rep: proves `firesim bench` still runs end to end
-# and emits parseable JSON. Real numbers come from scripts/bench.sh.
-go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 1 -out "$(mktemp)" >/dev/null
+# and emits parseable JSON. Real numbers come from scripts/bench.sh. The
+# node bench is skipped here; it gets its own gated pass below.
+go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 1 -node-nodes 0 -out "$(mktemp)" >/dev/null
+
+echo "== fast-path equivalence gate =="
+# The predecode cache, fetch memo and quiescent skip must be bit-identical
+# to the per-cycle path: self-modifying-code and toggle fuzz at the ISA
+# level, the NIC idle-skip arithmetic against its tick loop, and the WFI /
+# interrupt-storm / 8-node-faulted-cluster equivalences (sequential and
+# parallel schedulers, mid-run checkpoint restored across settings).
+go test -count=1 -run 'TestSelfModifyingCode|TestDecodeCacheRandomToggle' ./internal/riscv >/dev/null
+go test -count=1 -run 'TestSkipIdleMatchesTickLoop' ./internal/nic >/dev/null
+go test -count=1 -run 'TestWFIReceiverSkipEquivalence|TestInterruptStormEquivalence|TestClusterFaultedFastPathEquivalence' ./internal/soc >/dev/null
+
+echo "== node-MIPS regression smoke =="
+# The fast paths must actually pay for their complexity. The slow side of
+# each pair is the pre-PR per-cycle path, so BENCH_fame.json carries its
+# own baseline and the gate needs no cross-run BENCH_history.jsonl state:
+# on an idle WFI rack the quiescent skip is orders of magnitude faster
+# than per-cycle ticking (gate 5x, far below the measured ~1000x), and an
+# instruction-dense workload must at minimum not run slower with the
+# predecode cache + fetch memo on (gate 0.95x allows host noise around
+# the measured ~1.2x).
+go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 2 \
+    -node-nodes 4 -node-rounds 256 \
+    -idle-min-speedup 5 -dense-min-speedup 0.95 -out "$(mktemp)" >/dev/null
 
 echo "== parallel speedup gate (8 nodes) =="
 # The worker-pool scheduler must never lose to the sequential one. On a
