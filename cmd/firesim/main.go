@@ -57,6 +57,10 @@ func main() {
 		err = cmdTop(os.Args[2:])
 	case "snap":
 		err = cmdSnap(os.Args[2:])
+	case "run-dist":
+		err = cmdRunDist(os.Args[2:])
+	case "shard":
+		err = cmdShard(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -83,7 +87,9 @@ commands:
   workload   run a reusable workload description on a deployed topology
   bench      measure sim-rate across topology sizes, write BENCH_fame.json
   top        run an instrumented rack and watch live metrics
-  snap       checkpoint/restore a cluster (save, restore, inspect, verify)`)
+  snap       checkpoint/restore a cluster (save, restore, inspect, verify)
+  run-dist   coordinate a self-healing multi-process run (spawns shards)
+  shard      run one shard worker process (spawned by run-dist)`)
 }
 
 func parseFanouts(s string) ([]int, error) {

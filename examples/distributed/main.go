@@ -1,113 +1,112 @@
-// distributed splits one cycle-exact simulation across two simulator
-// processes connected by TCP, the way FireSim spans EC2 instances: node A
-// lives in "host 1", the ToR switch and node B in "host 2", and a token
-// bridge carries link batches between them. The token protocol keeps both
-// halves cycle-exact — the measured RTT is identical to running the same
-// target in one process.
+// distributed splits one cycle-exact simulation across several simulator
+// processes, the way FireSim spans EC2 instances — and then survives a
+// host failure mid-run. The coordinator owns the root switch and spawns
+// shard worker processes (re-execing this binary with the "shard" arg),
+// each hosting a slice of the cluster behind a TCP token bridge. A chaos
+// schedule SIGKILLs one shard partway through; the coordinator detects
+// the death, rewinds every process to the last coordinated checkpoint,
+// re-packs the lost nodes onto the survivors, and finishes the run —
+// bit-identical, component for component, to an undisturbed
+// single-process simulation of the same target.
 package main
 
 import (
 	"fmt"
 	"log"
-	"net"
+	"os"
+	"os/exec"
 
 	"repro/internal/clock"
-	"repro/internal/ethernet"
-	"repro/internal/fame"
-	"repro/internal/softstack"
-	"repro/internal/switchmodel"
-	"repro/internal/transport"
+	"repro/internal/faults"
+	"repro/internal/manager"
 )
 
-const linkLat = 3200 // 1 us per half-link
-
-var arp = map[ethernet.IP]ethernet.MAC{0x0a000001: 0x1, 0x0a000002: 0x2}
-
-// host2 owns the switch and node B.
-func host2(conn net.Conn, done chan<- struct{}) {
-	defer close(done)
-	b := softstack.NewNode(softstack.Config{Name: "nodeB", MAC: 0x2, IP: 0x0a000002, StaticARP: arp})
-	sw := switchmodel.New(switchmodel.Config{Name: "tor", Ports: 2, SwitchingLatency: 10})
-	sw.MACTable().Set(0x1, 0)
-	sw.MACTable().Set(0x2, 1)
-	bridge := transport.NewBridge("to-host1", conn)
-
-	r := fame.NewRunner()
-	r.Add(b)
-	r.Add(sw)
-	r.Add(bridge)
-	if err := r.Connect(bridge, 0, sw, 0, linkLat); err != nil {
-		log.Fatal(err)
-	}
-	if err := r.Connect(b, 0, sw, 1, linkLat); err != nil {
-		log.Fatal(err)
-	}
-	// Both hosts advance the same fixed horizon: the token protocol needs
-	// matching batch counts on each side of the bridge.
-	for r.Cycle() < horizon && bridge.Err() == nil {
-		if err := r.Run(linkLat * 4); err != nil {
-			log.Fatal(err)
-		}
-	}
-}
-
-// horizon is the target-time span both hosts simulate.
-const horizon = 3_000_000 // cycles (~0.94 ms at 3.2 GHz)
+const (
+	nodes     = 6
+	procs     = 3
+	linkLat   = 512
+	horizon   = 16384
+	ckptEvery = 2048
+)
 
 func main() {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ln.Close()
-	fmt.Printf("host 2 (switch + node B) listening on %v\n", ln.Addr())
-
-	done := make(chan struct{})
-	go func() {
-		conn, err := ln.Accept()
+	// Shard mode: this same binary, re-exec'd by the coordinator below.
+	if len(os.Args) > 1 && os.Args[1] == "shard" {
+		err := manager.RunShard(manager.ShardConfig{
+			ControlAddr: os.Getenv("FIRESIM_SHARD_CONTROL"),
+			Name:        os.Getenv("FIRESIM_SHARD_NAME"),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer conn.Close()
-		host2(conn, done)
-	}()
+		return
+	}
 
-	conn, err := net.Dial("tcp", ln.Addr().String())
+	spec, err := manager.RackSpec(nodes, manager.DeployConfig{LinkLatency: linkLat, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-	fmt.Println("host 1 (node A) connected; simulation advancing in lockstep batches")
+	// Every node streams paced frames to its ring neighbour, so every
+	// checkpoint interval moves traffic across every partition boundary.
+	spec.Workload = &manager.WorkloadSpec{Kind: "stream", StartAt: 600, FrameBytes: 200, Gbps: 1, StopAt: horizon}
 
-	// Host 1 owns node A and its bridge half.
-	a := softstack.NewNode(softstack.Config{Name: "nodeA", MAC: 0x1, IP: 0x0a000001, StaticARP: arp})
-	bridge := transport.NewBridge("to-host2", conn)
-	r := fame.NewRunner()
-	r.Add(a)
-	r.Add(bridge)
-	if err := r.Connect(a, 0, bridge, 0, linkLat); err != nil {
+	// The chaos schedule: SIGKILL shard1 once it passes cycle 6144. With
+	// no respawn budget its nodes are re-packed onto the two survivors.
+	chaos, err := faults.ParseChaos("kill:shard1@6144")
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	clk := clock.New(clock.DefaultTargetClock)
-	var res []softstack.PingResult
-	a.Ping(0, 0x0a000002, 5, clk.CyclesInMicros(100), func(rs []softstack.PingResult) { res = rs })
-	for r.Cycle() < horizon && bridge.Err() == nil {
-		if err := r.Run(linkLat * 4); err != nil {
-			log.Fatal(err)
+	dir, err := os.MkdirTemp("", "firesim-example-dist-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("coordinator: %d nodes across %d shard processes, SIGKILL of shard1 scheduled at cycle 6144\n\n", nodes, procs)
+	report, err := manager.RunDistributed(manager.CoordinatorConfig{
+		Spec:          spec,
+		Procs:         procs,
+		BaseDir:       dir,
+		CkptEvery:     ckptEvery,
+		Horizon:       horizon,
+		MaxRecoveries: 3,
+		Chaos:         chaos,
+		Spawn: func(name, controlAddr string) *exec.Cmd {
+			cmd := exec.Command(self, "shard")
+			cmd.Env = append(os.Environ(),
+				"FIRESIM_SHARD_CONTROL="+controlAddr,
+				"FIRESIM_SHARD_NAME="+name)
+			return cmd
+		},
+		Log: func(format string, a ...any) { fmt.Printf(format+"\n", a...) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nrun reached cycle %d with %d surviving process(es), healing %d failure(s) over %d epoch(s)\n",
+		report.Cycle, report.FinalProcs, report.Recoveries, report.Epochs)
+
+	// The proof: an undisturbed single-process run of the same target.
+	ref, err := manager.ReferenceHashes(spec, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k, want := range ref {
+		if got := report.Hashes[k]; got != want {
+			log.Fatalf("component %s diverged: distributed %016x, reference %016x", k, got, want)
 		}
 	}
-	<-done
-	if bridge.Err() != nil {
-		log.Fatalf("bridge: %v", bridge.Err())
+	if report.Combined != manager.CombineHashes(ref) {
+		log.Fatal("combined hash diverged")
 	}
-	if res == nil {
-		log.Fatal("ping did not complete")
-	}
-	fmt.Printf("\nping node A -> node B across two simulator processes over TCP:\n")
-	for _, p := range res {
-		fmt.Printf("  seq=%d time=%.2f us\n", p.Seq, clk.Micros(p.RTT))
-	}
-	fmt.Println("\nthe RTT is bit-identical to the single-process simulation of the same")
-	fmt.Println("target (see internal/transport's TestDistributedEquivalence).")
+	clk := clock.New(clock.DefaultTargetClock)
+	fmt.Printf("\nall %d components bit-identical to the undisturbed single-process run\n", len(ref))
+	fmt.Printf("(%d target cycles ≈ %.1f us of target time, killed and healed mid-flight)\n",
+		report.Cycle, clk.Micros(clock.Cycles(report.Cycle)))
 }

@@ -27,6 +27,7 @@ package fame
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/clock"
@@ -132,6 +133,12 @@ type Runner struct {
 	step        clock.Cycles
 	cycle       clock.Cycles
 	built       bool
+
+	// poisoned is set when an endpoint panic was contained mid-round: the
+	// channel populations are inconsistent, so running or saving is
+	// refused until a Restore (or partition-level SetCycle) rewinds to a
+	// coherent state. See panic.go.
+	poisoned bool
 
 	// emptyIn is the shared read-only batch handed to unconnected input
 	// ports; scratchOut[e][p] is a per-port discard batch for unconnected
@@ -336,15 +343,35 @@ func (r *Runner) Run(cycles clock.Cycles) error {
 // topology build and scratch allocation happen before the clock starts,
 // so Measure's reported sim rate is not inflated by setup cost on short
 // runs.
-func (r *Runner) run(cycles clock.Cycles) (time.Duration, error) {
+func (r *Runner) run(cycles clock.Cycles) (wall time.Duration, err error) {
 	if err := r.build(); err != nil {
 		return 0, err
+	}
+	if r.poisoned {
+		return 0, ErrPoisoned
 	}
 	if cycles <= 0 || cycles%r.step != 0 {
 		return 0, fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
 	}
 	rounds := cycles / r.step
 	n := int(r.step)
+
+	// Panic containment: a model that panics mid-tick must not take the
+	// process down (in a shard process it would take every co-hosted
+	// partition with it). curIdx tracks which endpoint is being ticked so
+	// the recovered error can name it; the runner is poisoned because the
+	// round was torn mid-flight.
+	curIdx := -1
+	defer func() {
+		if v := recover(); v != nil {
+			r.poisoned = true
+			name := "<runner>"
+			if curIdx >= 0 && curIdx < len(r.endpoints) {
+				name = r.endpoints[curIdx].Name()
+			}
+			err = &EndpointPanicError{Endpoint: name, Cycle: r.cycle, Value: v, Stack: debug.Stack()}
+		}
+	}()
 
 	// Per-endpoint scratch slices, reused across rounds.
 	ins := make([][]*token.Batch, len(r.endpoints))
@@ -365,6 +392,7 @@ func (r *Runner) run(cycles clock.Cycles) (time.Duration, error) {
 		}
 		var roundToks uint64
 		for i, e := range r.endpoints {
+			curIdx = i
 			in := ins[i]
 			out := outs[i]
 			for p := range in {
@@ -443,7 +471,7 @@ func (r *Runner) run(cycles clock.Cycles) (time.Duration, error) {
 			}
 		}
 	}
-	wall := time.Since(start)
+	wall = time.Since(start)
 	if m != nil {
 		m.flushProgress(&accRounds, &accToks, uint64(r.step), int64(r.cycle))
 		m.runWall.Add(uint64(wall.Nanoseconds()))

@@ -1,0 +1,33 @@
+package fame
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// EndpointPanicError is what a panicking endpoint surfaces as: instead of
+// tearing down the whole process (and, in a multi-process run, every
+// healthy shard sharing it), the runner converts the panic into a
+// structured error naming the endpoint and the target cycle window it was
+// being ticked toward. The runner itself stays alive but is poisoned —
+// token channels may be mid-round — so the only legal next steps are
+// Restore (rewind to a checkpoint) or throwing the runner away. This is
+// the in-process half of the self-healing story: a buggy device model
+// costs a rewind, not a fleet restart.
+type EndpointPanicError struct {
+	Endpoint string       // Name() of the endpoint whose tick panicked
+	Cycle    clock.Cycles // start of the cycle window being simulated
+	Value    any          // the recovered panic value
+	Stack    []byte       // goroutine stack at the panic site
+}
+
+func (e *EndpointPanicError) Error() string {
+	return fmt.Sprintf("fame: endpoint %q panicked in cycle window starting at %d: %v", e.Endpoint, e.Cycle, e.Value)
+}
+
+// ErrPoisoned is returned by Run/RunParallel/Save after an endpoint panic
+// left the in-flight token state mid-round. Restore (or a successful
+// SetCycle as part of a partition-level restore) clears it.
+var ErrPoisoned = errors.New("fame: runner poisoned by an endpoint panic; Restore a checkpoint before running again")

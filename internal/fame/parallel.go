@@ -3,8 +3,10 @@ package fame
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -278,23 +280,34 @@ type epPlan struct {
 // away, so a short spin usually beats a scheduler round trip.
 const ringSpin = 128
 
-func popWait(q *spscRing) *token.Batch {
+// popWait/pushWait block until the ring yields/accepts a batch — or until
+// abort is raised, which happens when a sibling worker's endpoint
+// panicked and will never produce (or consume) the batch this worker is
+// waiting on. The abort check sits on the slow path only: within a link's
+// slack window the first attempt succeeds and the flag is never loaded.
+func popWait(q *spscRing, abort *atomic.Bool) (*token.Batch, bool) {
 	for i := 0; ; i++ {
 		if b, ok := q.pop(); ok {
-			return b
+			return b, true
 		}
 		if i >= ringSpin {
+			if abort.Load() {
+				return nil, false
+			}
 			runtime.Gosched()
 		}
 	}
 }
 
-func pushWait(q *spscRing, b *token.Batch) {
+func pushWait(q *spscRing, b *token.Batch, abort *atomic.Bool) bool {
 	for i := 0; ; i++ {
 		if q.push(b) {
-			return
+			return true
 		}
 		if i >= ringSpin {
+			if abort.Load() {
+				return false
+			}
 			runtime.Gosched()
 		}
 	}
@@ -307,6 +320,9 @@ func pushWait(q *spscRing, b *token.Batch) {
 func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 	if err := r.build(); err != nil {
 		return 0, err
+	}
+	if r.poisoned {
+		return 0, ErrPoisoned
 	}
 	if cycles <= 0 || cycles%r.step != 0 {
 		return 0, fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
@@ -405,26 +421,57 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 
 	base := r.cycle
 	start := time.Now()
+
+	// Panic containment (see panic.go): the first worker whose endpoint
+	// panics records the structured error and raises abort; every other
+	// worker notices on its next slow-path ring wait (or round boundary)
+	// and unwinds. The rings are drained below regardless, so the runner
+	// stays structurally coherent — just poisoned until a Restore.
+	var abort atomic.Bool
+	var panicMu sync.Mutex
+	var panicErr *EndpointPanicError
+
 	var wg sync.WaitGroup
 	for w := range plans {
 		wg.Add(1)
 		go func(w int, plans []*epPlan) {
 			defer wg.Done()
+			curName := "<worker>"
+			curWin := base
+			defer func() {
+				if v := recover(); v != nil {
+					abort.Store(true)
+					panicMu.Lock()
+					if panicErr == nil {
+						panicErr = &EndpointPanicError{Endpoint: curName, Cycle: curWin, Value: v, Stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+				}
+			}()
 			heartbeat := owner[0] == w
 			var hbRounds, accToks uint64
 			for round := 0; round < rounds; round++ {
+				if abort.Load() {
+					return
+				}
 				winStart := base + clock.Cycles(round)*r.step
+				curWin = winStart
 				// Tick timing samples the same round indices as the
 				// sequential runner so the histograms stay comparable;
 				// each tick pays its own two clock reads so ring-wait
 				// time never pollutes the histogram.
 				sampled := m != nil && round&tickSampleMask == 0
 				for _, pl := range plans {
+					curName = pl.name
 					in, out := pl.ins, pl.outs
 					for p := range pl.in {
 						switch bind := pl.in[p]; {
 						case bind.rp != nil:
-							in[p] = popWait(bind.rp.data)
+							b, ok := popWait(bind.rp.data, &abort)
+							if !ok {
+								return
+							}
+							in[p] = b
 						case bind.ch != nil:
 							in[p] = bind.ch.pop()
 						default:
@@ -485,7 +532,9 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 					for p := range pl.out {
 						switch bind := pl.out[p]; {
 						case bind.rp != nil:
-							pushWait(bind.rp.data, out[p])
+							if !pushWait(bind.rp.data, out[p], &abort) {
+								return
+							}
 						case bind.ch != nil:
 							bind.ch.push(out[p])
 						}
@@ -551,6 +600,15 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 				rp.drain()
 			}
 		}
+	}
+	if panicErr != nil {
+		// Target time does not advance: the run was torn mid-round, so
+		// r.cycle still names the last coherent checkpointable boundary a
+		// caller could have saved. The drained channel populations are NOT
+		// coherent (workers unwound at arbitrary points), hence the poison
+		// until Restore rewinds them.
+		r.poisoned = true
+		return wall, panicErr
 	}
 	r.cycle += clock.Cycles(rounds) * r.step
 	if m != nil {

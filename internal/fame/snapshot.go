@@ -22,6 +22,9 @@ func (r *Runner) Save(w *snapshot.Writer) error {
 	if err := r.build(); err != nil {
 		return err
 	}
+	if r.poisoned {
+		return ErrPoisoned
+	}
 	w.Begin("fame.Runner", 1)
 	w.U64(uint64(r.step))
 	w.U64(uint64(r.cycle))
@@ -129,6 +132,9 @@ func (r *Runner) Restore(rd *snapshot.Reader) error {
 		}
 	}
 	r.cycle = cycle
+	// A full channel restore rewinds whatever a contained panic tore
+	// mid-round; the runner is coherent again.
+	r.poisoned = false
 	return nil
 }
 

@@ -1,0 +1,114 @@
+// Process-level chaos for distributed runs. Where the rest of this
+// package injects faults into the simulated target (dropped tokens,
+// frozen nodes), chaos events attack the HOST: they kill, suspend and
+// stall the real worker processes of a multi-process run, and tear
+// checkpoint files mid-recovery, to prove the supervision layer heals
+// every class of failure without perturbing the simulated target by a
+// single bit.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chaos event kinds.
+const (
+	// ChaosKill SIGKILLs the target shard process when the run reaches
+	// the event cycle: abrupt death, detected by lease expiry.
+	ChaosKill = "kill"
+	// ChaosStop SIGSTOPs the target shard: the process is alive but
+	// silent, also caught by lease expiry (heartbeats stop).
+	ChaosStop = "stop"
+	// ChaosStall makes the target shard stop advancing target time for
+	// StallMs of wall time while still heartbeating: caught only by the
+	// cycle-progress watchdog.
+	ChaosStall = "stall"
+	// ChaosTear truncates the target unit's newest checkpoint generation
+	// at the next recovery, simulating a crash mid-checkpoint-write; the
+	// store must fall back to the previous valid generation.
+	ChaosTear = "tear"
+)
+
+// ChaosEvent is one scheduled host-level failure.
+type ChaosEvent struct {
+	// Kind is one of the Chaos* constants.
+	Kind string
+	// Target names the victim: a shard name for kill/stop/stall, a
+	// partition unit name (e.g. "sub0") for tear.
+	Target string
+	// Cycle triggers kill/stop/stall when the coordinated run reaches
+	// it; ignored for tear (which fires at the next recovery).
+	Cycle uint64
+	// StallMs is the stall duration (stall only).
+	StallMs int
+}
+
+// ParseChaos parses a comma-separated chaos spec, e.g.
+//
+//	kill:shard1@8192,stall:shard2@16384+2000,tear:sub0
+//
+// Grammar per event: kind ":" target [ "@" cycle ] [ "+" stallMs ].
+// kill/stop/stall require a cycle; stall requires a duration; tear
+// takes neither.
+func ParseChaos(spec string) ([]ChaosEvent, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var events []ChaosEvent
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(raw, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: chaos event %q: missing ':'", raw)
+		}
+		ev := ChaosEvent{Kind: kind}
+		if at := strings.IndexByte(rest, '@'); at >= 0 {
+			ev.Target = rest[:at]
+			tail := rest[at+1:]
+			if plus := strings.IndexByte(tail, '+'); plus >= 0 {
+				ms, err := strconv.Atoi(tail[plus+1:])
+				if err != nil || ms <= 0 {
+					return nil, fmt.Errorf("faults: chaos event %q: bad stall duration", raw)
+				}
+				ev.StallMs = ms
+				tail = tail[:plus]
+			}
+			c, err := strconv.ParseUint(tail, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: chaos event %q: bad cycle", raw)
+			}
+			ev.Cycle = c
+		} else {
+			ev.Target = rest
+		}
+		if ev.Target == "" {
+			return nil, fmt.Errorf("faults: chaos event %q: empty target", raw)
+		}
+		switch ev.Kind {
+		case ChaosKill, ChaosStop:
+			if ev.Cycle == 0 {
+				return nil, fmt.Errorf("faults: chaos event %q: %s requires @cycle", raw, ev.Kind)
+			}
+			if ev.StallMs != 0 {
+				return nil, fmt.Errorf("faults: chaos event %q: +duration is stall-only", raw)
+			}
+		case ChaosStall:
+			if ev.Cycle == 0 || ev.StallMs == 0 {
+				return nil, fmt.Errorf("faults: chaos event %q: stall requires @cycle+durationMs", raw)
+			}
+		case ChaosTear:
+			if ev.Cycle != 0 || ev.StallMs != 0 {
+				return nil, fmt.Errorf("faults: chaos event %q: tear takes only a unit target", raw)
+			}
+		default:
+			return nil, fmt.Errorf("faults: chaos event %q: unknown kind %q", raw, ev.Kind)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}

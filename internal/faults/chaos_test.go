@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseChaos(t *testing.T) {
+	got, err := ParseChaos("kill:shard1@8192, stall:shard2@16384+2000 ,tear:sub0,stop:shard0@4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ChaosEvent{
+		{Kind: ChaosKill, Target: "shard1", Cycle: 8192},
+		{Kind: ChaosStall, Target: "shard2", Cycle: 16384, StallMs: 2000},
+		{Kind: ChaosTear, Target: "sub0"},
+		{Kind: ChaosStop, Target: "shard0", Cycle: 4096},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseChaosEmpty(t *testing.T) {
+	if ev, err := ParseChaos("  "); err != nil || ev != nil {
+		t.Fatalf("blank spec: %v %v", ev, err)
+	}
+}
+
+func TestParseChaosRejects(t *testing.T) {
+	bad := []string{
+		"boom:shard0@1",       // unknown kind
+		"kill:shard0",         // kill without cycle
+		"kill:@100",           // empty target
+		"stall:shard0@100",    // stall without duration
+		"stall:shard0@100+0",  // zero duration
+		"kill:shard0@100+5",   // duration on kill
+		"tear:sub0@100",       // cycle on tear
+		"kill shard0",         // missing colon
+		"kill:shard0@x",       // bad cycle
+		"stall:shard0@100+xy", // bad duration
+	}
+	for _, spec := range bad {
+		if _, err := ParseChaos(spec); err == nil {
+			t.Errorf("ParseChaos(%q) accepted, want error", spec)
+		}
+	}
+}

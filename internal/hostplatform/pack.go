@@ -1,0 +1,49 @@
+package hostplatform
+
+import "sort"
+
+// PackUnits assigns partition units to host processes by weight
+// (typically server count per unit) using first-fit-decreasing onto the
+// least-loaded process — the same bin-packing instinct as the FPGA
+// mapping, applied to the elastic reshard path: when a distributed run
+// loses a process and cannot replace it, the dead process's units are
+// re-packed onto the survivors so the cluster keeps its balance instead
+// of piling everything onto one host.
+//
+// The assignment is deterministic: units are ordered by descending
+// weight (ties by ascending unit index) and each goes to the process
+// with the smallest current load (ties by ascending process index).
+// procs must be >= 1; the result has exactly procs slots, some possibly
+// empty, each sorted ascending.
+func PackUnits(weights []int, procs int) [][]int {
+	if procs < 1 {
+		procs = 1
+	}
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ua, ub := order[a], order[b]
+		if weights[ua] != weights[ub] {
+			return weights[ua] > weights[ub]
+		}
+		return ua < ub
+	})
+	out := make([][]int, procs)
+	load := make([]int, procs)
+	for _, u := range order {
+		best := 0
+		for p := 1; p < procs; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		out[best] = append(out[best], u)
+		load[best] += weights[u]
+	}
+	for p := range out {
+		sort.Ints(out[p])
+	}
+	return out
+}

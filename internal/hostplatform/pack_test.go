@@ -1,0 +1,56 @@
+package hostplatform
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPackUnitsBalances(t *testing.T) {
+	// 6 units, weights dominated by unit 0: FFD must not stack more on
+	// the process that got the heavy unit.
+	got := PackUnits([]int{8, 1, 1, 1, 1, 1}, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d procs, want 2", len(got))
+	}
+	loads := []int{0, 0}
+	seen := map[int]bool{}
+	for p, units := range got {
+		for _, u := range units {
+			if seen[u] {
+				t.Fatalf("unit %d packed twice", u)
+			}
+			seen[u] = true
+			loads[p] += []int{8, 1, 1, 1, 1, 1}[u]
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("packed %d units, want 6", len(seen))
+	}
+	if loads[0] != 8 || loads[1] != 5 {
+		t.Fatalf("loads %v, want [8 5]", loads)
+	}
+}
+
+func TestPackUnitsDeterministic(t *testing.T) {
+	w := []int{2, 2, 2, 2, 2}
+	a := PackUnits(w, 3)
+	b := PackUnits(w, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("non-deterministic packing: %v vs %v", a, b)
+	}
+	// Equal weights: round-robin by index onto least-loaded.
+	want := [][]int{{0, 3}, {1, 4}, {2}}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("packing %v, want %v", a, want)
+	}
+}
+
+func TestPackUnitsDegenerate(t *testing.T) {
+	if got := PackUnits(nil, 3); len(got) != 3 {
+		t.Fatalf("empty units: %v", got)
+	}
+	got := PackUnits([]int{1, 2}, 0) // procs clamped to 1
+	if len(got) != 1 || !reflect.DeepEqual(got[0], []int{0, 1}) {
+		t.Fatalf("single-proc fallback: %v", got)
+	}
+}

@@ -124,11 +124,9 @@ func (c *Cluster) RunUntil(pred func() bool, maxCycles clock.Cycles) (bool, erro
 	return pred(), nil
 }
 
-// Deploy validates, builds, maps and instantiates the topology.
-func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
-	if err := Validate(root); err != nil {
-		return nil, err
-	}
+// normalizeConfig fills DeployConfig defaults; Deploy and the partition
+// builders must agree on them, so they share this.
+func normalizeConfig(cfg DeployConfig) DeployConfig {
 	if cfg.LinkLatency == 0 {
 		cfg.LinkLatency = 6400 // 2 us at 3.2 GHz
 	}
@@ -138,6 +136,181 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 	if cfg.Freq == 0 {
 		cfg.Freq = clock.DefaultTargetClock
 	}
+	return cfg
+}
+
+// NodeIdentity is the deterministic identity pass 1 assigns to one
+// server: everything any process needs to know about the server —
+// locally instantiated or not — to build MAC tables, ARP entries and
+// workload destination rings that agree across a partitioned deployment.
+type NodeIdentity struct {
+	Spec  *ServerNode
+	Index int // assignment (depth-first) order
+	Name  string
+	MAC   ethernet.MAC
+	IP    ethernet.IP
+	Seed  uint64
+	Cores int
+	// Node is the instantiated model, nil for servers some other process
+	// hosts.
+	Node *softstack.Node
+}
+
+// instantiate creates the server model for this identity.
+func (id *NodeIdentity) instantiate(cfg DeployConfig) *softstack.Node {
+	id.Node = softstack.NewNode(softstack.Config{
+		Name:  id.Name,
+		MAC:   id.MAC,
+		IP:    id.IP,
+		Cores: id.Cores,
+		Freq:  cfg.Freq,
+		Costs: cfg.Costs,
+		Seed:  id.Seed,
+	})
+	return id.Node
+}
+
+// topoIdentities is the output of the shared assignment passes: server
+// identities in depth-first order, the ARP map, and per-subtree MAC
+// lists for switch MAC-table construction. It is pure metadata — no
+// simulation component is instantiated — so a partition builder can run
+// the passes over the FULL topology and then instantiate only its slice,
+// with names, MACs, IPs and seeds identical to a whole-cluster Deploy.
+type topoIdentities struct {
+	servers     []*NodeIdentity
+	bySpec      map[*ServerNode]*NodeIdentity
+	macs        []ethernet.MAC
+	arp         map[ethernet.IP]ethernet.MAC
+	subtreeMACs map[TopoNode][]ethernet.MAC
+}
+
+// assignIdentities is pass 1: depth-first server identity assignment, so
+// MAC/IP assignment is stable under topology edits elsewhere in the
+// tree. Empty server names are filled in on the spec tree itself (the
+// names are part of the deployment's identity).
+func assignIdentities(root *SwitchNode, cfg DeployConfig) *topoIdentities {
+	ids := &topoIdentities{
+		bySpec:      make(map[*ServerNode]*NodeIdentity),
+		arp:         make(map[ethernet.IP]ethernet.MAC),
+		subtreeMACs: make(map[TopoNode][]ethernet.MAC),
+	}
+	idx := 0
+	var assign func(t TopoNode)
+	assign = func(t TopoNode) {
+		switch v := t.(type) {
+		case *SwitchNode:
+			for _, d := range v.Downlinks {
+				assign(d)
+			}
+		case *ServerNode:
+			mac := ethernet.MAC(0x0200_0000_0000) + ethernet.MAC(idx+1)
+			ip := ethernet.IP(0x0a00_0000) + ethernet.IP(idx+1)
+			if v.Name == "" {
+				v.Name = fmt.Sprintf("server%d", idx)
+			}
+			cores, _ := v.Type.Cores()
+			id := &NodeIdentity{
+				Spec:  v,
+				Index: idx,
+				Name:  v.Name,
+				MAC:   mac,
+				IP:    ip,
+				Seed:  cfg.Seed + uint64(idx)*0x9e37,
+				Cores: cores,
+			}
+			ids.bySpec[v] = id
+			ids.servers = append(ids.servers, id)
+			ids.macs = append(ids.macs, mac)
+			ids.arp[ip] = mac
+			idx++
+		}
+	}
+	assign(root)
+
+	var collectMACs func(t TopoNode) []ethernet.MAC
+	collectMACs = func(t TopoNode) []ethernet.MAC {
+		if m, ok := ids.subtreeMACs[t]; ok {
+			return m
+		}
+		var out []ethernet.MAC
+		switch v := t.(type) {
+		case *ServerNode:
+			out = []ethernet.MAC{ids.bySpec[v].MAC}
+		case *SwitchNode:
+			for _, d := range v.Downlinks {
+				out = append(out, collectMACs(d)...)
+			}
+		}
+		ids.subtreeMACs[t] = out
+		return out
+	}
+	collectMACs(root)
+	return ids
+}
+
+// assignSwitchNames fills empty switch names in pre-order — the same
+// order Deploy's recursive build visits them — so every process derives
+// identical names from the same tree.
+func assignSwitchNames(root *SwitchNode) {
+	idx := 0
+	var walk func(s *SwitchNode)
+	walk = func(s *SwitchNode) {
+		if s.Name == "" {
+			s.Name = fmt.Sprintf("switch%d", idx)
+		}
+		idx++
+		for _, d := range s.Downlinks {
+			if sw, ok := d.(*SwitchNode); ok {
+				walk(sw)
+			}
+		}
+	}
+	walk(root)
+}
+
+// seedStaticARP seeds the full cluster's ARP entries into the given
+// nodes in a fixed order (nodes in assignment order, entries by
+// ascending IP) rather than by map iteration, so every deployment of the
+// same topology performs the identical sequence of operations.
+func seedStaticARP(nodes []*softstack.Node, arp map[ethernet.IP]ethernet.MAC) {
+	ips := make([]ethernet.IP, 0, len(arp))
+	for ip := range arp {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, n := range nodes {
+		for _, ip := range ips {
+			n.LearnARP(ip, arp[ip])
+		}
+	}
+}
+
+// setMACTable installs the static MAC table for one switch: every server
+// below downlink i maps to port i; everything else exits the uplink
+// (uplink < 0 for the root).
+func setMACTable(sw *switchmodel.Switch, s *SwitchNode, ids *topoIdentities, uplink int) {
+	below := make(map[ethernet.MAC]bool)
+	for i, d := range s.Downlinks {
+		for _, m := range ids.subtreeMACs[d] {
+			sw.MACTable().Set(m, i)
+			below[m] = true
+		}
+	}
+	if uplink >= 0 {
+		for _, m := range ids.macs {
+			if !below[m] {
+				sw.MACTable().Set(m, uplink)
+			}
+		}
+	}
+}
+
+// Deploy validates, builds, maps and instantiates the topology.
+func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
+	if err := Validate(root); err != nil {
+		return nil, err
+	}
+	cfg = normalizeConfig(cfg)
 
 	farm := NewBuildFarm()
 	images, err := farm.BuildAll(root, cfg.Supernode)
@@ -155,66 +328,18 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 		return nil, err
 	}
 
-	// Pass 1: assign identities to every server, depth-first, so MAC/IP
-	// assignment is stable under topology edits elsewhere in the tree.
-	type serverInst struct {
-		spec *ServerNode
-		node *softstack.Node
+	// Pass 1 (shared with the partition builders): deterministic server
+	// identities over the full tree, then instantiate every one.
+	ids := assignIdentities(root, cfg)
+	for _, id := range ids.servers {
+		id.instantiate(cfg)
 	}
-	servers := make(map[*ServerNode]*serverInst)
-	var ordered []*serverInst // assignment (depth-first) order
-	var macs []ethernet.MAC
-	arp := make(map[ethernet.IP]ethernet.MAC)
-	idx := 0
-	var assign func(t TopoNode)
-	assign = func(t TopoNode) {
-		switch v := t.(type) {
-		case *SwitchNode:
-			for _, d := range v.Downlinks {
-				assign(d)
-			}
-		case *ServerNode:
-			mac := ethernet.MAC(0x0200_0000_0000) + ethernet.MAC(idx+1)
-			ip := ethernet.IP(0x0a00_0000) + ethernet.IP(idx+1)
-			name := v.Name
-			if name == "" {
-				name = fmt.Sprintf("server%d", idx)
-				v.Name = name
-			}
-			cores, _ := v.Type.Cores()
-			node := softstack.NewNode(softstack.Config{
-				Name:  name,
-				MAC:   mac,
-				IP:    ip,
-				Cores: cores,
-				Freq:  cfg.Freq,
-				Costs: cfg.Costs,
-				Seed:  cfg.Seed + uint64(idx)*0x9e37,
-			})
-			si := &serverInst{spec: v, node: node}
-			servers[v] = si
-			ordered = append(ordered, si)
-			macs = append(macs, mac)
-			arp[ip] = mac
-			idx++
-		}
-	}
-	assign(root)
-
-	// Seed static ARP in a fixed order (nodes in assignment order, entries
-	// by ascending IP) rather than by map iteration, so every Deploy of
-	// the same topology performs the identical sequence of operations.
 	if !cfg.DisableStaticARP {
-		ips := make([]ethernet.IP, 0, len(arp))
-		for ip := range arp {
-			ips = append(ips, ip)
+		nodes := make([]*softstack.Node, len(ids.servers))
+		for i, id := range ids.servers {
+			nodes[i] = id.Node
 		}
-		sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
-		for _, si := range ordered {
-			for _, ip := range ips {
-				si.node.LearnARP(ip, arp[ip])
-			}
-		}
+		seedStaticARP(nodes, ids.arp)
 	}
 
 	// Pass 2: create switches and wire everything. Each switch has one
@@ -225,26 +350,6 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 		uplink int // uplink port index, or -1 for root
 	}
 	var switches []*swInst
-	subtreeMACs := make(map[TopoNode][]ethernet.MAC)
-
-	var collectMACs func(t TopoNode) []ethernet.MAC
-	collectMACs = func(t TopoNode) []ethernet.MAC {
-		if m, ok := subtreeMACs[t]; ok {
-			return m
-		}
-		var out []ethernet.MAC
-		switch v := t.(type) {
-		case *ServerNode:
-			out = []ethernet.MAC{servers[v].node.MAC()}
-		case *SwitchNode:
-			for _, d := range v.Downlinks {
-				out = append(out, collectMACs(d)...)
-			}
-		}
-		subtreeMACs[t] = out
-		return out
-	}
-	collectMACs(root)
 
 	swIdx := 0
 	var faultTargets []faults.Target
@@ -268,23 +373,7 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 		inst := &swInst{spec: s, sw: sw, uplink: uplink}
 		switches = append(switches, inst)
 		c.Runner.Add(sw)
-
-		// Static MAC table: every server below downlink i maps to port i;
-		// everything else exits the uplink.
-		below := make(map[ethernet.MAC]bool)
-		for i, d := range s.Downlinks {
-			for _, m := range subtreeMACs[d] {
-				sw.MACTable().Set(m, i)
-				below[m] = true
-			}
-		}
-		if uplink >= 0 {
-			for _, m := range macs {
-				if !below[m] {
-					sw.MACTable().Set(m, uplink)
-				}
-			}
-		}
+		setMACTable(sw, s, ids, uplink)
 
 		// Wire downlinks. In supernode mode, groups of up to four sibling
 		// blades are FAME-5-multiplexed onto one host pipeline (one FPGA),
@@ -336,7 +425,7 @@ func Deploy(root *SwitchNode, cfg DeployConfig) (*Cluster, error) {
 		for i, d := range s.Downlinks {
 			switch v := d.(type) {
 			case *ServerNode:
-				node := servers[v].node
+				node := ids.bySpec[v].Node
 				group = append(group, pendingServer{node: node, port: i})
 				if len(group) == 4 {
 					if err := flushGroup(); err != nil {

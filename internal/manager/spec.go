@@ -1,0 +1,217 @@
+// ClusterSpec is the wire-serializable description of a deployment: the
+// topology tree plus the deterministic knobs of DeployConfig. The
+// coordinator of a multi-process run sends it to every shard process,
+// which rebuilds its partition from the spec — both sides must derive
+// identical names, MACs, IPs and seeds, so the spec round-trips through
+// the exact same assignment passes Deploy uses.
+package manager
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// NodeSpec is one topology node in serializable form. Exactly one of
+// Switch/Server is set (switches carry downlinks, servers a blade type).
+type NodeSpec struct {
+	Switch    string     `json:"switch,omitempty"`
+	Server    string     `json:"server,omitempty"`
+	Blade     string     `json:"blade,omitempty"`
+	Downlinks []NodeSpec `json:"downlinks,omitempty"`
+}
+
+// WorkloadSpec names a deterministic workload every process of a
+// distributed run applies to its own nodes. Kind "stream" starts a paced
+// raw Ethernet stream on every node i toward node (i+1) mod N — chosen
+// because it is serializable (the generator is part of node checkpoints)
+// and exercises every link through the root.
+type WorkloadSpec struct {
+	Kind       string  `json:"kind"`
+	StartAt    uint64  `json:"startAt"`
+	FrameBytes int     `json:"frameBytes"`
+	Gbps       float64 `json:"gbps"`
+	StopAt     uint64  `json:"stopAt"`
+}
+
+// ClusterSpec carries everything a process needs to build its slice of
+// the simulation. Fault injection and supernode packing are deliberately
+// absent: neither is supported in distributed runs (the fault plan hooks
+// the whole-cluster runner, and supernode multiplexing would straddle the
+// partition boundary).
+type ClusterSpec struct {
+	Root             NodeSpec      `json:"root"`
+	LinkLatency      uint64        `json:"linkLatency"`
+	SwitchingLatency uint64        `json:"switchingLatency"`
+	Seed             uint64        `json:"seed"`
+	Freq             uint64        `json:"freq,omitempty"`
+	Parallel         bool          `json:"parallel,omitempty"`
+	Workers          int           `json:"workers,omitempty"`
+	Workload         *WorkloadSpec `json:"workload,omitempty"`
+}
+
+// maxSpecNodes bounds how many topology nodes a decoded spec may carry; a
+// malicious or corrupt control frame cannot make a shard allocate an
+// unbounded tree.
+const maxSpecNodes = 1 << 16
+
+// SpecFromTopology snapshots a topology into its serializable form. Names
+// must already be assigned (Deploy and the coordinator both run the
+// assignment passes first); an unnamed node is an error, because the two
+// sides of the wire could not agree on identity.
+func SpecFromTopology(root *SwitchNode, cfg DeployConfig) (ClusterSpec, error) {
+	var conv func(t TopoNode) (NodeSpec, error)
+	conv = func(t TopoNode) (NodeSpec, error) {
+		switch v := t.(type) {
+		case *SwitchNode:
+			if v.Name == "" {
+				return NodeSpec{}, fmt.Errorf("manager: spec: unnamed switch (run the assignment passes first)")
+			}
+			ns := NodeSpec{Switch: v.Name}
+			for _, d := range v.Downlinks {
+				c, err := conv(d)
+				if err != nil {
+					return NodeSpec{}, err
+				}
+				ns.Downlinks = append(ns.Downlinks, c)
+			}
+			return ns, nil
+		case *ServerNode:
+			if v.Name == "" {
+				return NodeSpec{}, fmt.Errorf("manager: spec: unnamed server (run the assignment passes first)")
+			}
+			return NodeSpec{Server: v.Name, Blade: string(v.Type)}, nil
+		default:
+			return NodeSpec{}, fmt.Errorf("manager: spec: unknown topology node %T", t)
+		}
+	}
+	rs, err := conv(root)
+	if err != nil {
+		return ClusterSpec{}, err
+	}
+	return ClusterSpec{
+		Root:             rs,
+		LinkLatency:      uint64(cfg.LinkLatency),
+		SwitchingLatency: uint64(cfg.SwitchingLatency),
+		Seed:             cfg.Seed,
+		Freq:             uint64(cfg.Freq),
+		Parallel:         false,
+		Workers:          cfg.Workers,
+	}, nil
+}
+
+// RackSpec builds the canonical distributed-run topology — nodes
+// single-core servers hanging directly off the root switch, so every
+// server is its own partition unit — runs the assignment passes, and
+// returns the serializable spec. The CLI and examples build their
+// distributed clusters through this one helper so coordinator and
+// reference runs always agree on identities.
+func RackSpec(nodes int, cfg DeployConfig) (ClusterSpec, error) {
+	if nodes < 1 {
+		return ClusterSpec{}, fmt.Errorf("manager: rack spec: need at least 1 node, got %d", nodes)
+	}
+	root := NewSwitchNode("")
+	for i := 0; i < nodes; i++ {
+		root.AddDownlinks(NewServerNode("", SingleCore))
+	}
+	cfg = normalizeConfig(cfg)
+	assignSwitchNames(root)
+	assignIdentities(root, cfg)
+	return SpecFromTopology(root, cfg)
+}
+
+// Topology rebuilds the topology tree and DeployConfig the spec carries.
+func (s ClusterSpec) Topology() (*SwitchNode, DeployConfig, error) {
+	nodes := 0
+	var conv func(ns NodeSpec) (TopoNode, error)
+	conv = func(ns NodeSpec) (TopoNode, error) {
+		nodes++
+		if nodes > maxSpecNodes {
+			return nil, fmt.Errorf("manager: spec: more than %d topology nodes", maxSpecNodes)
+		}
+		switch {
+		case ns.Switch != "" && ns.Server == "":
+			sw := NewSwitchNode(ns.Switch)
+			for _, d := range ns.Downlinks {
+				c, err := conv(d)
+				if err != nil {
+					return nil, err
+				}
+				sw.AddDownlinks(c)
+			}
+			return sw, nil
+		case ns.Server != "" && ns.Switch == "":
+			if len(ns.Downlinks) != 0 {
+				return nil, fmt.Errorf("manager: spec: server %q has downlinks", ns.Server)
+			}
+			return NewServerNode(ns.Server, BladeType(ns.Blade)), nil
+		default:
+			return nil, fmt.Errorf("manager: spec: node is neither switch nor server")
+		}
+	}
+	t, err := conv(s.Root)
+	if err != nil {
+		return nil, DeployConfig{}, err
+	}
+	root, ok := t.(*SwitchNode)
+	if !ok {
+		return nil, DeployConfig{}, fmt.Errorf("manager: spec: root is not a switch")
+	}
+	if err := Validate(root); err != nil {
+		return nil, DeployConfig{}, err
+	}
+	cfg := DeployConfig{
+		LinkLatency:      clock.Cycles(s.LinkLatency),
+		SwitchingLatency: clock.Cycles(s.SwitchingLatency),
+		Seed:             s.Seed,
+		Freq:             clock.Hz(s.Freq),
+		Workers:          s.Workers,
+	}
+	return root, cfg, nil
+}
+
+// Encode serialises the spec (the payload format of assign frames).
+func (s ClusterSpec) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSpec parses an encoded spec, enforcing the node bound.
+func DecodeSpec(data []byte) (ClusterSpec, error) {
+	var s ClusterSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return ClusterSpec{}, fmt.Errorf("manager: spec decode: %w", err)
+	}
+	// Bounds are enforced during Topology(); run it once here so a bad
+	// spec is rejected at decode time, not deep inside a build.
+	if _, _, err := s.Topology(); err != nil {
+		return ClusterSpec{}, err
+	}
+	return s, nil
+}
+
+// Apply installs the spec's workload on the locally instantiated nodes.
+// ids must be the cluster-wide assignment-ordered identities — the
+// destination ring is computed over the FULL cluster so every process
+// agrees on who streams to whom — and only identities with an
+// instantiated Node are touched.
+func (w *WorkloadSpec) Apply(ids []*NodeIdentity) error {
+	if w == nil {
+		return nil
+	}
+	switch w.Kind {
+	case "stream":
+		n := len(ids)
+		if n == 0 {
+			return fmt.Errorf("manager: workload: no servers")
+		}
+		for _, id := range ids {
+			if id.Node == nil {
+				continue
+			}
+			dst := ids[(id.Index+1)%n].MAC
+			id.Node.StartRawStream(clock.Cycles(w.StartAt), dst, w.FrameBytes, w.Gbps, clock.Cycles(w.StopAt))
+		}
+		return nil
+	default:
+		return fmt.Errorf("manager: workload: unknown kind %q", w.Kind)
+	}
+}

@@ -232,6 +232,17 @@ func siftDown(h eventHeap, i int) {
 }
 
 // emitTX drains the TX queue into the output batch for cycles [start,end).
+//
+// The persisted txCursor advances only when a flit is actually emitted,
+// so it always reads "one past the last emitted flit" — a pure function
+// of the node's emission history. The window-local clamps below (snap a
+// stale cursor up to start, wait for the head frame's readyAt) are
+// re-derived every window, so folding them into the persisted value adds
+// no information; it would, however, make saved state depend on the
+// runner's batch quantum: a partition stepping in half-link windows
+// would checkpoint a different cursor than the whole cluster stepping in
+// full-link windows despite emitting identical tokens, breaking
+// cross-process bit-identity checks.
 func (n *Node) emitTX(start, end clock.Cycles, out *token.Batch) {
 	cursor := n.txCursor
 	if cursor < start {
@@ -254,13 +265,13 @@ func (n *Node) emitTX(start, end clock.Cycles, out *token.Batch) {
 			f.flit++
 			cursor++
 		}
+		n.txCursor = cursor
 		if f.flit == len(f.flits) {
 			n.txq = n.txq[1:]
 			n.stats.FramesSent++
 			n.stats.BytesSent += uint64(len(f.flits) * ethernet.FlitSize)
 		}
 	}
-	n.txCursor = cursor
 }
 
 // refillFromGenerator produces the next paced raw frame if a stream is

@@ -5,7 +5,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/token"
@@ -44,6 +47,10 @@ const (
 // ErrDegraded is latched on a bridge that the supervisor has marked
 // permanently down; its TickBatch is a no-op from then on.
 var ErrDegraded = errors.New("transport: bridge degraded (peer declared dead)")
+
+// ErrClosed is latched on a bridge another goroutine has Closed; any
+// in-flight or subsequent TickBatch fails fast instead of blocking.
+var ErrClosed = errors.New("transport: bridge closed")
 
 // errNonRetryable wraps handshake failures that reconnecting cannot fix
 // (wrong protocol, wrong step, wrong topology).
@@ -121,6 +128,15 @@ type Bridge struct {
 	w    *bufio.Writer
 	r    *bufio.Reader
 
+	// connMu guards the conn pointer only: Close may run concurrently
+	// with the scheduler goroutine swapping connections in reconnect.
+	connMu sync.Mutex
+	// closed flips once on Close; stop is closed alongside so a
+	// reconnect backoff sleep aborts immediately instead of waiting out
+	// BackoffMax.
+	closed atomic.Bool
+	stop   chan struct{}
+
 	err      error
 	degraded bool
 
@@ -151,15 +167,26 @@ func NewBridge(name string, conn io.ReadWriter) *Bridge {
 // NewBridgeConfig wraps a connection with explicit robustness settings.
 func NewBridgeConfig(name string, conn io.ReadWriter, cfg BridgeConfig) *Bridge {
 	cfg.fillDefaults()
-	b := &Bridge{name: name, cfg: cfg}
+	b := &Bridge{name: name, cfg: cfg, stop: make(chan struct{})}
 	b.setConn(conn)
 	return b
 }
 
 func (b *Bridge) setConn(conn io.ReadWriter) {
+	b.connMu.Lock()
 	b.conn = conn
+	b.connMu.Unlock()
 	b.w = bufio.NewWriter(conn)
 	b.r = bufio.NewReader(conn)
+}
+
+// currentConn reads the connection pointer under the lock; callers that
+// only need its optional capabilities (Closer, deadlines) use this so
+// they never race a concurrent Close/reconnect swap.
+func (b *Bridge) currentConn() io.ReadWriter {
+	b.connMu.Lock()
+	defer b.connMu.Unlock()
+	return b.conn
 }
 
 // Err reports the first permanent transport error encountered (the
@@ -208,12 +235,17 @@ func (b *Bridge) Degrade() {
 // abandoned timeline. The next TickBatch re-handshakes on the new
 // connection.
 func (b *Bridge) Reset(conn io.ReadWriter, seq uint64) {
-	if conn != b.conn {
+	if conn != b.currentConn() {
 		// Keep the connection alive when a fresh bridge is reset onto the
 		// conn it was built with (the respawned peer's pattern).
 		b.closeConn()
 	}
 	b.setConn(conn)
+	if b.closed.CompareAndSwap(true, false) {
+		// Revive a Closed bridge: arm a fresh stop channel for the next
+		// Close.
+		b.stop = make(chan struct{})
+	}
 	b.err = nil
 	b.degraded = false
 	b.handshaken = false
@@ -228,9 +260,24 @@ func (b *Bridge) Reset(conn io.ReadWriter, seq uint64) {
 }
 
 func (b *Bridge) closeConn() {
-	if c, ok := b.conn.(io.Closer); ok {
+	if c, ok := b.currentConn().(io.Closer); ok {
 		c.Close()
 	}
+}
+
+// Close aborts the bridge from any goroutine: the underlying connection
+// is closed (failing any blocked read or write immediately) and a
+// reconnect backoff sleep in progress is interrupted rather than waited
+// out. The scheduler goroutine's next TickBatch latches ErrClosed.
+// Close is idempotent and safe concurrently with TickBatch — it is the
+// coordinator's lever for yanking a shard out of a doomed run without
+// waiting for timeouts.
+func (b *Bridge) Close() error {
+	if b.closed.CompareAndSwap(false, true) {
+		close(b.stop)
+	}
+	b.closeConn()
+	return nil
 }
 
 // Name implements fame.Endpoint.
@@ -256,6 +303,10 @@ func (b *Bridge) fail(err error) {
 // with empty input from the dead partition instead of hanging.
 func (b *Bridge) TickBatch(n int, in, out []*token.Batch) {
 	if b.err != nil || b.degraded {
+		return
+	}
+	if b.closed.Load() {
+		b.fail(ErrClosed)
 		return
 	}
 	if !b.handshaken {
@@ -521,7 +572,18 @@ func (b *Bridge) reconnect(step int) bool {
 	b.handshaken = false
 	backoff := b.cfg.BackoffBase
 	for attempt := 1; attempt <= b.cfg.MaxReconnects; attempt++ {
-		time.Sleep(backoff)
+		// The backoff sleep is interruptible: Close from another
+		// goroutine aborts it immediately instead of waiting out
+		// BackoffMax. The delay itself is jittered ±20% (deterministic
+		// per bridge name and attempt) so a respawned fleet of shards
+		// does not hammer the coordinator in lockstep.
+		t := time.NewTimer(jitterBackoff(b.name, attempt, backoff))
+		select {
+		case <-t.C:
+		case <-b.stop:
+			t.Stop()
+			return false
+		}
 		if backoff *= 2; backoff > b.cfg.BackoffMax {
 			backoff = b.cfg.BackoffMax
 		}
@@ -554,7 +616,7 @@ func (b *Bridge) armReadDeadline() {
 	if b.cfg.ReadTimeout <= 0 {
 		return
 	}
-	if dc, ok := b.conn.(deadlineConn); ok {
+	if dc, ok := b.currentConn().(deadlineConn); ok {
 		dc.SetReadDeadline(time.Now().Add(b.cfg.ReadTimeout))
 	}
 }
@@ -563,7 +625,23 @@ func (b *Bridge) armWriteDeadline() {
 	if b.cfg.WriteTimeout <= 0 {
 		return
 	}
-	if dc, ok := b.conn.(deadlineConn); ok {
+	if dc, ok := b.currentConn().(deadlineConn); ok {
 		dc.SetWriteDeadline(time.Now().Add(b.cfg.WriteTimeout))
 	}
+}
+
+// jitterBackoff spreads a nominal backoff delay across [0.8, 1.2) of its
+// value, deterministically seeded from the bridge name and attempt
+// number: a given bridge always produces the same delay sequence (tests
+// and reruns are reproducible), while different bridges — the respawned
+// shard fleet — spread out instead of redialing in lockstep.
+func jitterBackoff(name string, attempt int, backoff time.Duration) time.Duration {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var a [8]byte
+	binary.BigEndian.PutUint64(a[:], uint64(attempt))
+	h.Write(a[:])
+	// Top 53 bits → uniform float in [0, 1).
+	u := float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+	return time.Duration(float64(backoff) * (0.8 + 0.4*u))
 }

@@ -66,6 +66,23 @@ echo "== checkpoint determinism smoke =="
 go run ./cmd/firesim snap verify -nodes 4 -cycles 2048 -extra 2048 >/dev/null
 go run ./cmd/firesim snap verify -nodes 4 -cycles 2048 -extra 2048 -parallel >/dev/null
 
+echo "== distributed chaos smoke =="
+# A 3-process, 8-node self-healing run: one shard SIGKILLed, another
+# stalled long enough for the progress watchdog, healed from coordinated
+# checkpoints, and -verify proves the result bit-identical to an
+# undisturbed in-process run. The parallel pass adds a SIGSTOP victim
+# (caught by lease expiry, not the watchdog) and a respawn budget. The
+# hard timeout guards the gate itself against a supervision deadlock —
+# the one bug class this subsystem exists to rule out.
+timeout 180 go run ./cmd/firesim run-dist -nodes 8 -procs 3 \
+    -horizon 16384 -ckpt-every 2048 \
+    -chaos 'kill:shard1@4096,stall:shard2@10240+5000' \
+    -verify -quiet
+timeout 180 go run ./cmd/firesim run-dist -nodes 8 -procs 3 \
+    -horizon 16384 -ckpt-every 2048 -parallel -respawns 2 \
+    -chaos 'kill:shard1@4096,stop:shard0@6144,stall:shard2@10240+5000' \
+    -verify -quiet
+
 echo "== snapshot fuzz (short) =="
 # A few seconds of coverage-guided fuzzing over the snapshot decoder: the
 # Reader must never panic on malformed streams.
