@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/clock"
@@ -31,14 +32,21 @@ type benchResult struct {
 	RunMetrics         benchVariant `json:"run_metrics"`
 	RunParallelMetrics benchVariant `json:"run_parallel_metrics"`
 
-	// Overhead of enabling metrics, percent of wall time, from the ratio
-	// of best-of-reps wall times. Min-of-reps is the noise-rejection
-	// estimator: each side's best run is its closest approach to the true
-	// cost, so the ratio cannot go negative the way a mean or per-rep
-	// median could when the host drifts mid-bench (it is clamped at 0 —
-	// instrumentation cannot make the simulator faster).
-	RunOverheadPct         float64 `json:"run_metrics_overhead_pct"`
-	RunParallelOverheadPct float64 `json:"run_parallel_metrics_overhead_pct"`
+	// Overhead of enabling metrics, percent of wall time: the median of
+	// per-rep wall-time ratios. Each rep measures base and instrumented
+	// back to back, so host frequency drift — which moves both sides of an
+	// adjacent pair almost equally but can swing distant runs by tens of
+	// percent — mostly cancels inside each ratio, and the median rejects
+	// the occasional rep where a GC pause or scheduler preemption landed
+	// inside one measured region. The headline numbers are clamped at 0
+	// (instrumentation cannot make the simulator faster); the raw signed
+	// medians are reported alongside — a persistently negative raw value
+	// means the measurement is noise-dominated, which the clamp would
+	// otherwise hide.
+	RunOverheadPct            float64 `json:"run_metrics_overhead_pct"`
+	RunOverheadRawPct         float64 `json:"run_metrics_overhead_raw_pct"`
+	RunParallelOverheadPct    float64 `json:"run_parallel_metrics_overhead_pct"`
+	RunParallelOverheadRawPct float64 `json:"run_parallel_metrics_overhead_raw_pct"`
 
 	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
@@ -73,6 +81,10 @@ type benchHistoryEntry struct {
 	RunHz      map[string]float64 `json:"run_hz"`
 	ParHz      map[string]float64 `json:"run_parallel_hz"`
 	Speedup    map[string]float64 `json:"parallel_speedup"`
+	// Raw (unclamped) metrics overhead per size, so the history shows when
+	// a measurement went noise-negative rather than silently reporting 0.
+	RunOverheadRawPct map[string]float64 `json:"run_metrics_overhead_raw_pct,omitempty"`
+	ParOverheadRawPct map[string]float64 `json:"run_parallel_metrics_overhead_raw_pct,omitempty"`
 	// Node-bench digests, keyed "<workload>_fast" / "<workload>_slow"
 	// (MIPS) and "<workload>" (fast-over-slow wall-time speedup).
 	NodeMIPS        map[string]float64 `json:"node_mips,omitempty"`
@@ -90,6 +102,8 @@ func cmdBench(args []string) error {
 	nodeRounds := fs.Int("node-rounds", 512, "link-latency rounds per node-bench measurement")
 	idleMinSpeedup := fs.Float64("idle-min-speedup", 0, "fail unless the idle workload's fast-path speedup reaches this (0 disables the gate)")
 	denseMinSpeedup := fs.Float64("dense-min-speedup", 0, "fail unless the dense workload's fast-path speedup reaches this (0 disables the gate)")
+	sbMinSpeedup := fs.Float64("sb-min-speedup", 0, "fail unless the dense workload's superblock A-B speedup reaches this (0 disables the gate)")
+	maxOverheadPct := fs.Float64("max-overhead-pct", 0, "fail if any size's clamped metrics overhead exceeds this percent (0 disables the gate)")
 	out := fs.String("out", "BENCH_fame.json", "output file")
 	history := fs.String("history", "", "append a timestamped result line to this JSONL file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering only the measured round loops to this file")
@@ -126,7 +140,7 @@ func cmdBench(args []string) error {
 			fmt.Sprintf("%+.1f%% / %+.1f%%", r.RunOverheadPct, r.RunParallelOverheadPct))
 	}
 
-	nodeTable := stats.NewTable("Workload", "Fast", "Slow", "Speedup", "MIPS fast/slow", "Skipped")
+	nodeTable := stats.NewTable("Workload", "Fast", "Slow", "Speedup", "SB speedup", "MIPS fast/slow", "Skipped")
 	if *nodeNodes > 0 {
 		nodeResults, err := benchNodePass(*nodeNodes, *nodeRounds, *reps, clk.CyclesInMicros(*latencyUs))
 		if err != nil {
@@ -134,9 +148,14 @@ func cmdBench(args []string) error {
 		}
 		doc.NodeResults = nodeResults
 		for _, r := range nodeResults {
+			sb := "-"
+			if r.FastNoSB != nil {
+				sb = fmt.Sprintf("%.2fx", r.SuperblockSpeedup)
+			}
 			nodeTable.AddRow(r.Workload,
 				clock.Hz(r.Fast.SimHz), clock.Hz(r.Slow.SimHz),
 				fmt.Sprintf("%.2fx", r.FastSpeedup),
+				sb,
 				fmt.Sprintf("%.2f / %.2f", r.Fast.MIPS, r.Slow.MIPS),
 				fmt.Sprintf("%.1f%%", r.Fast.SkippedPct))
 		}
@@ -189,6 +208,29 @@ func cmdBench(args []string) error {
 				gate.workload, got.FastSpeedup, gate.min)
 		}
 	}
+	if *sbMinSpeedup > 0 {
+		var got *nodeBenchResult
+		for i := range doc.NodeResults {
+			if doc.NodeResults[i].Workload == "dense" {
+				got = &doc.NodeResults[i]
+			}
+		}
+		if got == nil || got.FastNoSB == nil {
+			return fmt.Errorf("bench: -sb-min-speedup set but the dense node bench did not run (see -node-nodes)")
+		}
+		if got.SuperblockSpeedup < *sbMinSpeedup {
+			return fmt.Errorf("bench: dense superblock A-B speedup %.2fx below the %.2fx gate",
+				got.SuperblockSpeedup, *sbMinSpeedup)
+		}
+	}
+	if *maxOverheadPct > 0 {
+		for _, r := range doc.Results {
+			if r.RunOverheadPct > *maxOverheadPct || r.RunParallelOverheadPct > *maxOverheadPct {
+				return fmt.Errorf("bench: %d-node metrics overhead %.1f%% / %.1f%% exceeds the %.1f%% gate",
+					r.Nodes, r.RunOverheadPct, r.RunParallelOverheadPct, *maxOverheadPct)
+			}
+		}
+	}
 
 	// Profiling is a dedicated extra pass so the collectors wrap only the
 	// measured round loops (pprof cannot pause/resume into one file, so
@@ -222,6 +264,12 @@ func appendBenchHistory(path string, doc *benchFile) error {
 		e.RunHz[key] = r.Run.SimHz
 		e.ParHz[key] = r.RunParallel.SimHz
 		e.Speedup[key] = r.ParallelSpeedup
+		if e.RunOverheadRawPct == nil {
+			e.RunOverheadRawPct = map[string]float64{}
+			e.ParOverheadRawPct = map[string]float64{}
+		}
+		e.RunOverheadRawPct[key] = r.RunOverheadRawPct
+		e.ParOverheadRawPct[key] = r.RunParallelOverheadRawPct
 	}
 	if len(doc.NodeResults) > 0 {
 		e.NodeMIPS = map[string]float64{}
@@ -230,6 +278,10 @@ func appendBenchHistory(path string, doc *benchFile) error {
 			e.NodeMIPS[r.Workload+"_fast"] = r.Fast.MIPS
 			e.NodeMIPS[r.Workload+"_slow"] = r.Slow.MIPS
 			e.NodeFastSpeedup[r.Workload] = r.FastSpeedup
+			if r.FastNoSB != nil {
+				e.NodeMIPS[r.Workload+"_fast_nosb"] = r.FastNoSB.MIPS
+				e.NodeFastSpeedup[r.Workload+"_sb"] = r.SuperblockSpeedup
+			}
 		}
 	}
 	line, err := json.Marshal(&e)
@@ -272,64 +324,98 @@ func benchDeploy(nodes, rounds, workers int, linkLatency clock.Cycles, parallel,
 	return c, cycles, nil
 }
 
-// benchOneSize measures one rack size in all four variants. Each variant
-// gets a fresh deployment (so FAME link state never carries over) running
-// a ring of pings — an idle rack ticks in nanoseconds and would make any
+// benchOneSize measures one rack size in all four variants, running a
+// ring of pings — an idle rack ticks in nanoseconds and would make any
 // fixed instrumentation cost look enormous, so the overhead number is
-// only meaningful under representative load. One warm-up slice precedes
-// the measurement and the best of reps runs wins — the usual way to
-// reject scheduler noise on a shared host.
+// only meaningful under representative load.
+//
+// Per scheduler, ONE deployment serves every measurement: base and
+// instrumented regions alternate B I B I ... B on the same warm cluster
+// (reps instrumented regions, reps+1 base). Fresh-deploy-per-variant
+// benchmarking put ~100ms of deployment between the two sides of each
+// ratio; on a shared host whose effective frequency drifts by tens of
+// percent over such gaps, that drift dwarfed the real instrumentation
+// cost. Alternating regions on one cluster makes each comparison
+// back-to-back, pairing each instrumented region against the mean of its
+// two flanking base regions (linear drift cancels exactly), and the
+// median across reps rejects the occasional region a GC pause or
+// scheduler preemption inflates. Displayed rates are best-of-regions.
 func benchOneSize(nodes, rounds, reps, workers int, linkLatency clock.Cycles) (benchResult, error) {
 	res := benchResult{Nodes: nodes}
-	oneRun := func(parallel, withMetrics bool) (time.Duration, clock.Cycles, error) {
-		c, cycles, err := benchDeploy(nodes, rounds, workers, linkLatency, parallel, withMetrics)
+	measurePair := func(parallel bool) (base, inst benchVariant, overhead, raw float64, err error) {
+		regions := 2*reps + 1
+		// One extra region's worth of pings covers the unbilled warm-up
+		// region below.
+		c, _, err := benchDeploy(nodes, rounds*(regions+1), workers, linkLatency, parallel, false)
 		if err != nil {
-			return 0, 0, err
+			return base, inst, 0, 0, err
 		}
-		rate, err := c.Runner.Measure(cycles, clock.DefaultTargetClock, parallel)
-		if err != nil {
-			return 0, 0, err
+		step := c.Runner.Step()
+		region := clock.Cycles(rounds) * step
+		res.Cycles = uint64(region)
+		// The first region after deployment runs 1.5-2x slower than steady
+		// state (cold host caches, lazily allocated batch pools) no matter
+		// what the short deploy warm-up does; left in the flank set it
+		// poisons every ratio it borders. Burn one full region unbilled so
+		// the measured B I B ... B sequence starts warm.
+		runtime.GC()
+		if _, err := c.Runner.Measure(region, clock.DefaultTargetClock, parallel); err != nil {
+			return base, inst, 0, 0, err
 		}
-		return rate.Wall, cycles, nil
-	}
-
-	// Base and instrumented runs are interleaved within each rep so that
-	// host frequency/scheduler drift during the bench biases both sides
-	// equally rather than whichever variant ran last. Both the displayed
-	// rates and the overhead use best-of-reps (see RunOverheadPct).
-	measurePair := func(parallel bool) (base, inst benchVariant, overhead float64, err error) {
+		reg := obs.NewRegistry("bench")
+		walls := make([]time.Duration, regions)
 		bestBase, bestInst := time.Duration(-1), time.Duration(-1)
-		var cycles clock.Cycles
-		for rep := 0; rep < reps; rep++ {
-			wb, cy, err := oneRun(parallel, false)
+		for i := 0; i < regions; i++ {
+			withMetrics := i%2 == 1
+			if withMetrics {
+				c.EnableMetrics(reg)
+			} else {
+				c.EnableMetrics(nil)
+			}
+			// Collect garbage from the previous region (and, first time
+			// round, from deployment) before the clock starts, so a pause
+			// from someone else's allocations never lands inside a measured
+			// region.
+			runtime.GC()
+			rate, err := c.Runner.Measure(region, clock.DefaultTargetClock, parallel)
 			if err != nil {
-				return base, inst, 0, err
+				return base, inst, 0, 0, err
 			}
-			if bestBase < 0 || wb < bestBase {
-				bestBase = wb
+			walls[i] = rate.Wall
+			if withMetrics {
+				if bestInst < 0 || rate.Wall < bestInst {
+					bestInst = rate.Wall
+				}
+			} else if bestBase < 0 || rate.Wall < bestBase {
+				bestBase = rate.Wall
 			}
-			wi, _, err := oneRun(parallel, true)
-			if err != nil {
-				return base, inst, 0, err
-			}
-			if bestInst < 0 || wi < bestInst {
-				bestInst = wi
-			}
-			cycles = cy
 		}
-		res.Cycles = uint64(cycles)
-		overhead = 100 * (float64(bestInst)/float64(bestBase) - 1)
+		ratios := make([]float64, 0, reps)
+		for i := 1; i < regions; i += 2 {
+			if flank := float64(walls[i-1]+walls[i+1]) / 2; flank > 0 {
+				ratios = append(ratios, float64(walls[i])/flank)
+			}
+		}
+		sort.Float64s(ratios)
+		if n := len(ratios); n > 0 {
+			med := ratios[n/2]
+			if n%2 == 0 {
+				med = (ratios[n/2-1] + ratios[n/2]) / 2
+			}
+			raw = 100 * (med - 1)
+		}
+		overhead = raw
 		if overhead < 0 {
 			overhead = 0
 		}
-		return toVariant(cycles, bestBase), toVariant(cycles, bestInst), overhead, nil
+		return toVariant(region, bestBase), toVariant(region, bestInst), overhead, raw, nil
 	}
 
 	var err error
-	if res.Run, res.RunMetrics, res.RunOverheadPct, err = measurePair(false); err != nil {
+	if res.Run, res.RunMetrics, res.RunOverheadPct, res.RunOverheadRawPct, err = measurePair(false); err != nil {
 		return res, err
 	}
-	if res.RunParallel, res.RunParallelMetrics, res.RunParallelOverheadPct, err = measurePair(true); err != nil {
+	if res.RunParallel, res.RunParallelMetrics, res.RunParallelOverheadPct, res.RunParallelOverheadRawPct, err = measurePair(true); err != nil {
 		return res, err
 	}
 	if res.RunParallel.WallNanos > 0 {

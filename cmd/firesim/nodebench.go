@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/clock"
 	"repro/internal/ethernet"
@@ -44,10 +45,16 @@ type nodeBenchResult struct {
 
 	Fast nodeBenchVariant `json:"fast"`
 	Slow nodeBenchVariant `json:"slow"`
+	// FastNoSB is the fast paths with only the superblock dispatcher off
+	// (dense workload only): the A-B that isolates what block dispatch
+	// itself buys on top of the predecode cache and fetch memo.
+	FastNoSB *nodeBenchVariant `json:"fast_nosb,omitempty"`
 
 	// FastSpeedup is slow wall time over fast wall time (>1 means the
 	// fast paths paid off).
 	FastSpeedup float64 `json:"fast_speedup"`
+	// SuperblockSpeedup is FastNoSB wall time over Fast wall time.
+	SuperblockSpeedup float64 `json:"superblock_speedup,omitempty"`
 }
 
 // denseNodeProgram is an L1-resident ALU loop: every cycle retires an
@@ -77,8 +84,10 @@ func idleNodeProgram() *riscv.Asm {
 	return a
 }
 
-// buildNodeRack stands up n single-hart blades behind one idle ToR.
-func buildNodeRack(n int, workload string, fast bool, linkLat clock.Cycles) (*fame.Runner, []*soc.SoC, error) {
+// buildNodeRack stands up n single-hart blades behind one idle ToR. fast
+// toggles every fast path; sb additionally gates the superblock dispatcher
+// (fast=true, sb=false is the superblock A-B variant).
+func buildNodeRack(n int, workload string, fast, sb bool, linkLat clock.Cycles) (*fame.Runner, []*soc.SoC, error) {
 	prog := idleNodeProgram()
 	if workload == "dense" {
 		prog = denseNodeProgram()
@@ -103,6 +112,7 @@ func buildNodeRack(n int, workload string, fast bool, linkLat clock.Cycles) (*fa
 		s.SetQuiescentSkip(fast)
 		s.SetFetchMemo(fast)
 		s.SetDecodeCache(fast)
+		s.SetSuperblocks(fast && sb)
 		s.EnableMetrics(reg)
 		r.Add(s)
 		socs = append(socs, s)
@@ -118,18 +128,21 @@ func buildNodeRack(n int, workload string, fast bool, linkLat clock.Cycles) (*fa
 
 // nodeBenchVariantRun measures one (workload, setting) pair, best wall
 // time of reps, each rep on a fresh rack with one unbilled warm-up slice.
-func nodeBenchVariantRun(nodes, rounds, reps int, linkLat clock.Cycles, workload string, fast bool) (nodeBenchVariant, clock.Cycles, error) {
+func nodeBenchVariantRun(nodes, rounds, reps int, linkLat clock.Cycles, workload string, fast, sb bool) (nodeBenchVariant, clock.Cycles, error) {
 	var v nodeBenchVariant
 	cycles := clock.Cycles(rounds) * linkLat
 	best := int64(-1)
 	for rep := 0; rep < reps; rep++ {
-		r, socs, err := buildNodeRack(nodes, workload, fast, linkLat)
+		r, socs, err := buildNodeRack(nodes, workload, fast, sb, linkLat)
 		if err != nil {
 			return v, 0, err
 		}
 		if _, err := r.Measure(4*linkLat, clock.DefaultTargetClock, false); err != nil {
 			return v, 0, err
 		}
+		// Same GC hygiene as the sim-rate bench: build garbage must not be
+		// collected inside the measured region.
+		runtime.GC()
 		// Counters are reported as deltas over the measured window, so the
 		// warm-up slice never inflates MIPS or the skipped share.
 		warmInstret := make([]uint64, len(socs))
@@ -174,11 +187,23 @@ func benchNodePass(nodes, rounds, reps int, linkLat clock.Cycles) ([]nodeBenchRe
 		res := nodeBenchResult{Workload: workload, Nodes: nodes}
 		var err error
 		var cycles clock.Cycles
-		if res.Fast, cycles, err = nodeBenchVariantRun(nodes, rounds, reps, linkLat, workload, true); err != nil {
+		if res.Fast, cycles, err = nodeBenchVariantRun(nodes, rounds, reps, linkLat, workload, true, true); err != nil {
 			return nil, fmt.Errorf("node bench %s fast: %w", workload, err)
 		}
-		if res.Slow, _, err = nodeBenchVariantRun(nodes, rounds, reps, linkLat, workload, false); err != nil {
+		if res.Slow, _, err = nodeBenchVariantRun(nodes, rounds, reps, linkLat, workload, false, false); err != nil {
 			return nil, fmt.Errorf("node bench %s slow: %w", workload, err)
+		}
+		if workload == "dense" {
+			// The superblock A-B only means something when instructions
+			// actually retire; the idle rack skips every window either way.
+			nosb, _, err := nodeBenchVariantRun(nodes, rounds, reps, linkLat, workload, true, false)
+			if err != nil {
+				return nil, fmt.Errorf("node bench %s fast-nosb: %w", workload, err)
+			}
+			res.FastNoSB = &nosb
+			if res.Fast.WallNanos > 0 {
+				res.SuperblockSpeedup = float64(nosb.WallNanos) / float64(res.Fast.WallNanos)
+			}
 		}
 		res.Cycles = uint64(cycles)
 		if res.Fast.WallNanos > 0 {

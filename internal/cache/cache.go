@@ -205,6 +205,17 @@ func (c *Cache) Touch(now clock.Cycles, set, way int, write bool) clock.Cycles {
 	return now + c.cfg.HitLatency
 }
 
+// TouchN replays k consecutive hit-path touches of one known-resident
+// (set, way) handle in O(1): the global LRU counter advances by k, the
+// line's lru lands on the final counter value and the hit counter gains k
+// — bit-identical to k sequential Touch calls, whose intermediate states
+// nothing can observe between them. Same validity contract as Touch.
+func (c *Cache) TouchN(set, way, k int) {
+	c.tick += uint64(k)
+	c.sets[set][way].lru = c.tick
+	c.stats.Hits += uint64(k)
+}
+
 // Contains reports whether the line holding addr is resident (for tests
 // and invariant checks).
 func (c *Cache) Contains(addr uint64) bool {

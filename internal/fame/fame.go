@@ -382,6 +382,10 @@ func (r *Runner) run(cycles clock.Cycles) (wall time.Duration, err error) {
 	}
 
 	m := r.metrics
+	var epAcc []uint64
+	if m != nil {
+		epAcc = make([]uint64, len(r.endpoints))
+	}
 	start := time.Now()
 	var lastTick time.Time
 	var accRounds, accToks uint64
@@ -426,7 +430,9 @@ func (r *Runner) run(cycles clock.Cycles) (wall time.Duration, err error) {
 					}
 				}
 				if toks > 0 {
-					m.epTokens[i].Add(toks)
+					// Batched locally like the heartbeat counters; flushed
+					// on sampled rounds and at run end.
+					epAcc[i] += toks
 					roundToks += toks
 				}
 				// Tick timing is sampled (every tickSampleMask+1 rounds) with
@@ -468,12 +474,14 @@ func (r *Runner) run(cycles clock.Cycles) (wall time.Duration, err error) {
 			accToks += roundToks
 			if sampled {
 				m.flushProgress(&accRounds, &accToks, uint64(r.step), int64(r.cycle))
+				m.flushEpTokens(epAcc)
 			}
 		}
 	}
 	wall = time.Since(start)
 	if m != nil {
 		m.flushProgress(&accRounds, &accToks, uint64(r.step), int64(r.cycle))
+		m.flushEpTokens(epAcc)
 		m.runWall.Add(uint64(wall.Nanoseconds()))
 	}
 	return wall, nil

@@ -130,3 +130,16 @@ func (m *runnerMetrics) flushProgress(rounds, toks *uint64, step uint64, cycle i
 	}
 	m.cycleGauge.Set(cycle)
 }
+
+// flushEpTokens publishes locally accumulated per-endpoint token counts
+// (indexed like Runner.endpoints) and zeroes the accumulator. Same flush
+// cadence as flushProgress: sampled rounds and run end, so the hot loop
+// pays no per-round atomic RMW per endpoint.
+func (m *runnerMetrics) flushEpTokens(acc []uint64) {
+	for i, t := range acc {
+		if t > 0 {
+			m.epTokens[i].Add(t)
+			acc[i] = 0
+		}
+	}
+}

@@ -450,6 +450,13 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 			}()
 			heartbeat := owner[0] == w
 			var hbRounds, accToks uint64
+			// Per-endpoint token counts batch locally (indexed like this
+			// worker's plans) and flush on sampled rounds and at run end,
+			// mirroring the sequential runner.
+			var epAcc []uint64
+			if m != nil {
+				epAcc = make([]uint64, len(plans))
+			}
 			for round := 0; round < rounds; round++ {
 				if abort.Load() {
 					return
@@ -461,7 +468,7 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 				// each tick pays its own two clock reads so ring-wait
 				// time never pollutes the histogram.
 				sampled := m != nil && round&tickSampleMask == 0
-				for _, pl := range plans {
+				for pi, pl := range plans {
 					curName = pl.name
 					in, out := pl.ins, pl.outs
 					for p := range pl.in {
@@ -518,7 +525,7 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 							}
 						}
 						if toks > 0 {
-							m.epTokens[pl.idx].Add(toks)
+							epAcc[pi] += toks
 							accToks += toks
 						}
 					}
@@ -554,9 +561,17 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 					}
 				}
 				if m != nil {
-					if sampled && accToks > 0 {
-						m.tokens.Add(accToks)
-						accToks = 0
+					if sampled {
+						if accToks > 0 {
+							m.tokens.Add(accToks)
+							accToks = 0
+						}
+						for pi, t := range epAcc {
+							if t > 0 {
+								m.epTokens[plans[pi].idx].Add(t)
+								epAcc[pi] = 0
+							}
+						}
 					}
 					// Workers advance decoupled, so any one is an equally
 					// good progress heartbeat; the worker owning endpoint 0
@@ -580,6 +595,11 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 				}
 				if accToks > 0 {
 					m.tokens.Add(accToks)
+				}
+				for pi, t := range epAcc {
+					if t > 0 {
+						m.epTokens[plans[pi].idx].Add(t)
+					}
 				}
 			}
 		}(w, plans[w])

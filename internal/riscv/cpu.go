@@ -81,22 +81,45 @@ type CPU struct {
 	decodeOn bool
 	dec      []decEntry
 	fastBus  FetchFaster // bus's optional fast-fetch view, asserted once
+
+	// Superblock fast path (derived state, never snapshotted). Blocks
+	// chain predecoded entries for threaded dispatch inside compute-only
+	// windows; see superblock.go.
+	sbOn       bool
+	sb         []superblock
+	sbVer      uint64
+	sbLo, sbHi uint64 // envelope of code covered by live blocks
+	sbInstret  uint64 // instructions retired via block dispatch (observability)
+	winNow     *clock.Cycles // window plumbing: bus clock to advance per instruction
+	winStop    *bool         // window plumbing: set by the bus mid-dispatch to exit
+	spanBus    FetchSpanner  // bus's optional batched-fetch view, asserted once
+	spanMask   uint64        // I-line mask for span formation (0 = spans off)
 }
 
 // New builds a hart over the given bus, starting at entry. The predecode
 // fast path is on by default; SetDecodeCache(false) restores the plain
 // fetch-and-crack path.
 func New(bus Bus, hartID uint64, entry uint64) *CPU {
-	c := &CPU{PC: entry, HartID: hartID, bus: bus, timing: DefaultTiming(), decodeOn: true}
+	c := &CPU{PC: entry, HartID: hartID, bus: bus, timing: DefaultTiming(), decodeOn: true, sbOn: true}
 	c.fastBus, _ = bus.(FetchFaster)
+	if sp, ok := bus.(FetchSpanner); ok {
+		if lb := sp.ILineBytes(); lb >= 4 && lb&(lb-1) == 0 {
+			c.spanBus = sp
+			c.spanMask = ^(lb - 1)
+		}
+	}
 	return c
 }
 
 // Stats returns a snapshot of the instruction counters.
 func (c *CPU) Stats() Stats { return c.stats }
 
-// SetTiming overrides the pipeline timing model.
-func (c *CPU) SetTiming(t Timing) { c.timing = t }
+// SetTiming overrides the pipeline timing model. Built superblocks embed
+// span costs derived from the old timing, so they are dropped.
+func (c *CPU) SetTiming(t Timing) {
+	c.timing = t
+	c.killBlocksAll()
+}
 
 // SetExternalInterrupt drives the machine external interrupt pending bit
 // (wired from the NIC and block device interrupt lines).
@@ -158,12 +181,10 @@ func (c *CPU) Step() clock.Cycles {
 	}
 
 	word, fetchLat, ent, predecoded := c.fetchPredecode()
-	cost := c.timing.Base + fetchLat
-	nextPC := c.PC + 4
-
 	var op, rd, rs1, rs2, f3, f7 uint32
+	var imm uint64
 	if predecoded {
-		op, rd, rs1, rs2, f3, f7 = ent.op, ent.rd, ent.rs1, ent.rs2, ent.f3, ent.f7
+		op, rd, rs1, rs2, f3, f7, imm = ent.op, ent.rd, ent.rs1, ent.rs2, ent.f3, ent.f7, ent.imm
 	} else {
 		op = word & 0x7f
 		rd = word >> 7 & 0x1f
@@ -171,11 +192,41 @@ func (c *CPU) Step() clock.Cycles {
 		rs2 = word >> 20 & 0x1f
 		f3 = word >> 12 & 7
 		f7 = word >> 25
+		imm = crackImm(op, word)
 		if ent != nil {
-			*ent = decEntry{pc: c.PC, word: word, valid: true,
+			*ent = decEntry{pc: c.PC, imm: imm, word: word, valid: true,
 				op: op, rd: rd, rs1: rs1, rs2: rs2, f3: f3, f7: f7}
 		}
 	}
+	return c.exec1(word, op, rd, rs1, rs2, f3, f7, imm, fetchLat)
+}
+
+// crackImm extracts the immediate for op from word, in the exact form the
+// executor consumes. Instructions without a (pre-extractable) immediate
+// yield 0.
+func crackImm(op, word uint32) uint64 {
+	switch op {
+	case opLUI, opAUIPC:
+		return sext(uint64(word&0xfffff000), 32)
+	case opJAL:
+		return decodeJImm(word)
+	case opJALR, opLoad, opImm, opImm32:
+		return sext(uint64(word>>20), 12)
+	case opBranch:
+		return decodeBImm(word)
+	case opStore:
+		return decodeSImm(word)
+	}
+	return 0
+}
+
+// exec1 executes one already-cracked instruction: the shared semantic core
+// behind both Step and the superblock dispatcher, so the fast path cannot
+// drift from the slow one. The caller has fetched the word (fetchLat is
+// that fetch's stall) and cracked op/rd/rs1/rs2/f3/f7/imm (crackImm).
+func (c *CPU) exec1(word, op, rd, rs1, rs2, f3, f7 uint32, imm uint64, fetchLat clock.Cycles) clock.Cycles {
+	cost := c.timing.Base + fetchLat
+	nextPC := c.PC + 4
 
 	r1 := c.X[rs1]
 	r2 := c.X[rs2]
@@ -184,16 +235,14 @@ func (c *CPU) Step() clock.Cycles {
 
 	switch op {
 	case opLUI:
-		wb, writeback = sext(uint64(word&0xfffff000), 32), true
+		wb, writeback = imm, true
 	case opAUIPC:
-		wb, writeback = c.PC+sext(uint64(word&0xfffff000), 32), true
+		wb, writeback = c.PC+imm, true
 	case opJAL:
-		imm := decodeJImm(word)
 		wb, writeback = nextPC, true
 		nextPC = c.PC + imm
 		cost += c.timing.BranchTaken
 	case opJALR:
-		imm := sext(uint64(word>>20), 12)
 		wb, writeback = nextPC, true
 		nextPC = (r1 + imm) &^ 1
 		cost += c.timing.BranchTaken
@@ -217,12 +266,12 @@ func (c *CPU) Step() clock.Cycles {
 			return c.illegal(word)
 		}
 		if taken {
-			nextPC = c.PC + decodeBImm(word)
+			nextPC = c.PC + imm
 			cost += c.timing.BranchTaken
 		}
 	case opLoad:
 		c.stats.Loads++
-		addr := r1 + sext(uint64(word>>20), 12)
+		addr := r1 + imm
 		var v uint64
 		var lat clock.Cycles
 		switch f3 {
@@ -250,7 +299,7 @@ func (c *CPU) Step() clock.Cycles {
 		cost += lat
 	case opStore:
 		c.stats.Stores++
-		addr := r1 + decodeSImm(word)
+		addr := r1 + imm
 		var size int
 		switch f3 {
 		case 0:
@@ -272,7 +321,6 @@ func (c *CPU) Step() clock.Cycles {
 			c.InvalidateDecode(addr, size)
 		}
 	case opImm:
-		imm := sext(uint64(word>>20), 12)
 		switch f3 {
 		case 0:
 			wb = r1 + imm
@@ -298,7 +346,6 @@ func (c *CPU) Step() clock.Cycles {
 		}
 		writeback = true
 	case opImm32:
-		imm := sext(uint64(word>>20), 12)
 		switch f3 {
 		case 0:
 			wb = sext(r1+imm, 32)
@@ -379,17 +426,17 @@ func (c *CPU) Step() clock.Cycles {
 			c.InvalidateDecodeAll()
 		}
 	case opSystem:
-		imm := word >> 20
+		sysImm := word >> 20
 		switch {
-		case f3 == 0 && imm == 0: // ECALL
+		case f3 == 0 && sysImm == 0: // ECALL
 			return c.trap(CauseECall, c.PC)
-		case f3 == 0 && imm == 1: // EBREAK: simulation power-off
+		case f3 == 0 && sysImm == 1: // EBREAK: simulation power-off
 			c.Halted = true
-		case f3 == 0 && imm == 0x105: // WFI
+		case f3 == 0 && sysImm == 0x105: // WFI
 			if !c.interruptPending() && c.MIP&c.MIE == 0 {
 				c.WaitingForInterrupt = true
 			}
-		case f3 == 0 && imm == 0x302: // MRET
+		case f3 == 0 && sysImm == 0x302: // MRET
 			if c.MStatus&MStatusMPIE != 0 {
 				c.MStatus |= MStatusMIE
 			} else {
@@ -399,7 +446,7 @@ func (c *CPU) Step() clock.Cycles {
 			nextPC = c.MEPC
 			cost += c.timing.BranchTaken
 		case f3 >= 1 && f3 <= 3: // CSRRW/CSRRS/CSRRC
-			csr := imm
+			csr := sysImm
 			old := c.readCSR(csr)
 			var nv uint64
 			switch f3 {

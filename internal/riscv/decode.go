@@ -14,6 +14,19 @@ type FetchFaster interface {
 	FetchFast(addr uint64) (latency clock.Cycles, ok bool)
 }
 
+// FetchSpanner is an optional Bus extension over FetchFaster for batched
+// fetch replay. FetchSpan replays k consecutive instruction fetches at
+// addr, addr+4, ..., addr+4(k-1) — all within one instruction-cache line —
+// with side effects identical to k sequential FetchFast calls and a
+// per-fetch stall of zero (the hit path's invariant latency). Returning
+// false means the span was not provably safe and no side effects were
+// performed; the caller falls back to per-instruction fetches. ILineBytes
+// reports the instruction-line size so callers can chunk spans by line.
+type FetchSpanner interface {
+	FetchSpan(addr uint64, k int) bool
+	ILineBytes() uint64
+}
+
 // The decode cache is a direct-mapped array of pre-cracked instructions,
 // sized to hold as many instructions as the default 16 KiB L1I holds
 // (4096 four-byte words). It is purely derived state: never snapshotted,
@@ -26,6 +39,7 @@ const (
 
 type decEntry struct {
 	pc    uint64 // full-PC tag; hit requires pc match, so aliases are safe
+	imm   uint64 // pre-cracked immediate (crackImm)
 	word  uint32
 	valid bool
 	op    uint32
@@ -57,6 +71,7 @@ func (c *CPU) InvalidateDecode(addr uint64, n int) {
 	if c.dec == nil {
 		return
 	}
+	c.killBlocksRange(addr, n)
 	if n > decSize*4 {
 		c.InvalidateDecodeAll()
 		return
@@ -68,8 +83,9 @@ func (c *CPU) InvalidateDecode(addr uint64, n int) {
 }
 
 // InvalidateDecodeAll drops every predecoded entry (fence.i, snapshot
-// restore, bulk DMA).
+// restore, bulk DMA) and every superblock chained over them.
 func (c *CPU) InvalidateDecodeAll() {
+	c.killBlocksAll()
 	for i := range c.dec {
 		c.dec[i].valid = false
 	}

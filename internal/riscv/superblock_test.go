@@ -1,0 +1,239 @@
+package riscv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+)
+
+// The tests in this file pin down the superblock dispatcher's contract:
+// StepBlock interleaved with Step under the SoC's compute-window
+// scheduling must be bit-identical — registers, PC, stats, and cycle
+// accounting — to pure per-instruction stepping, including across
+// self-modifying code, stores into the next block's instruction stream,
+// and blocks toggled on and off mid-run.
+
+// runWindows drives cpu with the single-hart compute-window loop the SoC
+// scheduler uses: windows of w cycles, the external line deasserted at
+// every instruction boundary, StepBlock first (when block is true) and
+// Step as the fallback. Returns the cycle the hart stopped on.
+func runWindows(cpu *CPU, w, maxCycles int, block bool) clock.Cycles {
+	now := clock.Cycles(0)
+	max := clock.Cycles(maxCycles)
+	for now < max && !cpu.Halted {
+		last := now + clock.Cycles(w) - 1
+		if last >= max {
+			last = max - 1
+		}
+		for now <= last && !cpu.Halted {
+			cpu.SetExternalInterrupt(false)
+			cpu.Cycle = now
+			var used clock.Cycles
+			if block {
+				used = cpu.StepBlock(last + 1 - now)
+			}
+			if used == 0 {
+				used = cpu.Step()
+				if used <= 0 {
+					used = 1
+				}
+			}
+			now += used
+		}
+	}
+	return now
+}
+
+// mixedProgram exercises every superblock shape at once: span-eligible ALU
+// runs, mul/div timing, loads and stores (which break spans and carry bus
+// latency), conditional branches inside a block and an unconditional
+// back edge ending one.
+func mixedProgram() []uint32 {
+	a := NewAsm()
+	a.LI(S0, 0)
+	a.LI(A0, 1)
+	a.LI(A1, 7)
+	a.LI64(S1, 0x8000) // scratch, well away from code
+	a.Label("loop")
+	for i := 0; i < 6; i++ {
+		a.ADD(A0, A0, A1)
+		a.XORI(A1, A1, 0x55)
+		a.SLLI(A2, A0, 3)
+		a.ADDIW(A3, A2, -9)
+	}
+	a.MUL(A4, A0, A1)
+	a.DIVU(A5, A4, A1)
+	a.SD(A4, S1, 0)
+	a.LD(A6, S1, 0)
+	a.BNE(A6, A4, "trap") // never taken: branch inside the block
+	a.ADDI(S0, S0, 1)
+	a.LI(T3, 40)
+	a.BLT(S0, T3, "loop")
+	a.EBREAK()
+	a.Label("trap")
+	a.EBREAK()
+	return a.MustAssemble()
+}
+
+func runProgram(t *testing.T, words []uint32, window, maxCycles int, block bool) (*CPU, clock.Cycles) {
+	t.Helper()
+	bus := newFlatBus(1 << 16)
+	bus.latency = 1
+	bus.loadProgram(words)
+	cpu := New(bus, 0, 0)
+	cpu.SetDecodeCache(true)
+	cpu.SetSuperblocks(block)
+	end := runWindows(cpu, window, maxCycles, block)
+	if !cpu.Halted {
+		t.Fatalf("program did not halt in %d cycles (block=%v)", maxCycles, block)
+	}
+	return cpu, end
+}
+
+// TestSuperblockEquivalence runs representative programs under the
+// compute-window driver with the superblock dispatcher on vs off, across
+// window sizes from degenerate (1 cycle: every dispatch is budget-bound)
+// to far larger than any block, and asserts identical architectural
+// state, stats and cycle accounting.
+func TestSuperblockEquivalence(t *testing.T) {
+	programs := map[string][]uint32{
+		"mixed":       mixedProgram(),
+		"smc-fencei":  smcProgram(true),
+		"smc-nofence": smcProgram(false),
+	}
+	// smc-fencei runs fence.i every iteration, wiping the predecode cache
+	// before the back edge ever revisits warm code, so it legitimately
+	// never forms a block — it pins down the cold path, not dispatch.
+	dispatches := map[string]bool{"mixed": true, "smc-nofence": true}
+	for name, words := range programs {
+		for _, window := range []int{1, 3, 17, 64, 4096} {
+			ref, refEnd := runProgram(t, words, window, 1_000_000, false)
+			sb, sbEnd := runProgram(t, words, window, 1_000_000, true)
+			if ref.X != sb.X || ref.PC != sb.PC || ref.stats != sb.stats || refEnd != sbEnd {
+				t.Errorf("%s w=%d diverged: end %d vs %d, pc %#x vs %#x, stats %+v vs %+v",
+					name, window, refEnd, sbEnd, ref.PC, sb.PC, ref.stats, sb.stats)
+			}
+			if ref.SuperblockInstret() != 0 {
+				t.Errorf("%s w=%d: reference run dispatched %d instructions through blocks", name, window, ref.SuperblockInstret())
+			}
+			if window >= 17 && dispatches[name] && sb.SuperblockInstret() == 0 {
+				t.Errorf("%s w=%d: superblock run never used block dispatch", name, window)
+			}
+		}
+	}
+}
+
+// nextBlockPatchProgram lays out a 32-instruction block (sbMaxLen) whose
+// first instruction stores a replacement word over the first instruction
+// of the block immediately after it — the store lands outside the running
+// block but inside code the dispatcher is about to chain into. Two
+// iterations: the first patches a never-yet-executed word, the second
+// overwrites a word that is predecoded and block-resident, so the
+// envelope check must bump the version and exit dispatch before the stale
+// instruction can issue. A0 must end at 200 (100 per iteration), never
+// 1 + 100 (stale first pass) or 101/2 (stale second pass).
+func nextBlockPatchProgram() []uint32 {
+	a := NewAsm()
+	a.LI(A0, 0)
+	a.LI(S0, 0)
+	a.AUIPC(S1, 0) // S1 = address of this AUIPC
+	auipcPC := a.PC() - 4
+	a.LI(T1, int32(encI(100, uint32(A0), 0, uint32(A0), opImm))) // ADDI A0,A0,100
+	a.J("loop")
+	a.Label("loop")
+	loopPC := a.PC()
+	// Patch the word at "target" — sbMaxLen instructions ahead, i.e. the
+	// first entry of the NEXT superblock.
+	swIdx := a.PC() / 4
+	a.SW(T1, S1, 0) // offset fixed up below once target's PC is known
+	for a.PC()-loopPC < (sbMaxLen-1)*4 {
+		a.ADDI(S2, S2, 1) // filler: keeps the block exactly sbMaxLen long
+	}
+	targetOff := int32(a.PC() - auipcPC)
+	a.Label("target")
+	a.Word(encI(1, uint32(A0), 0, uint32(A0), opImm)) // target: ADDI A0,A0,1
+	a.ADDI(S0, S0, 1)
+	a.LI(T3, 2)
+	a.BLT(S0, T3, "loop")
+	a.EBREAK()
+	words := a.MustAssemble()
+	words[swIdx] = encS(targetOff, uint32(T1), uint32(S1), 2, opStore)
+	return words
+}
+
+// TestSuperblockSMCNextBlockPatch is the cross-block invalidation case:
+// a store issued from block N into block N+1's first instruction, with
+// block N+1 both cold (first iteration) and already built (second).
+func TestSuperblockSMCNextBlockPatch(t *testing.T) {
+	words := nextBlockPatchProgram()
+	for _, window := range []int{5, 64, 4096} {
+		ref, refEnd := runProgram(t, words, window, 1_000_000, false)
+		sb, sbEnd := runProgram(t, words, window, 1_000_000, true)
+		if sb.X[A0] != 200 {
+			t.Errorf("w=%d: A0 = %d, want 200 (stale pre-patch instruction executed)", window, sb.X[A0])
+		}
+		if ref.X != sb.X || ref.PC != sb.PC || ref.stats != sb.stats || refEnd != sbEnd {
+			t.Errorf("w=%d: diverged from per-instruction path: end %d vs %d, A0 %d vs %d",
+				window, refEnd, sbEnd, ref.X[A0], sb.X[A0])
+		}
+	}
+}
+
+// TestSuperblockRandomToggle steps a self-modifying program in lockstep
+// on two harts — one with superblocks permanently off, one toggled
+// pseudo-randomly between windows — and asserts bit-identical state and
+// cycle accounting at every window boundary.
+func TestSuperblockRandomToggle(t *testing.T) {
+	words := smcProgram(true)
+	check := func(seed uint64) bool {
+		mk := func() *CPU {
+			bus := newFlatBus(1 << 16)
+			bus.latency = 1
+			bus.loadProgram(words)
+			cpu := New(bus, 0, 0)
+			cpu.SetDecodeCache(true)
+			cpu.SetSuperblocks(false)
+			return cpu
+		}
+		ref, tog := mk(), mk()
+		const w = 23
+		s := seed
+		var refNow, togNow clock.Cycles
+		for win := 0; !ref.Halted && win < 2000; win++ {
+			tog.SetSuperblocks(s&1 == 1)
+			s = s*6364136223846793005 + 1442695040888963407
+			refNow = runOneWindow(ref, refNow, w, false)
+			togNow = runOneWindow(tog, togNow, w, true)
+			if refNow != togNow || ref.X != tog.X || ref.PC != tog.PC || ref.stats != tog.stats {
+				t.Logf("diverged in window %d: cycle %d vs %d, pc %#x vs %#x", win, refNow, togNow, ref.PC, tog.PC)
+				return false
+			}
+		}
+		return ref.Halted && tog.Halted
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// runOneWindow advances one w-cycle compute window (see runWindows).
+func runOneWindow(cpu *CPU, now clock.Cycles, w int, block bool) clock.Cycles {
+	last := now + clock.Cycles(w) - 1
+	for now <= last && !cpu.Halted {
+		cpu.SetExternalInterrupt(false)
+		cpu.Cycle = now
+		var used clock.Cycles
+		if block {
+			used = cpu.StepBlock(last + 1 - now)
+		}
+		if used == 0 {
+			used = cpu.Step()
+			if used <= 0 {
+				used = 1
+			}
+		}
+		now += used
+	}
+	return now
+}

@@ -534,3 +534,176 @@ func TestClusterFaultedFastPathEquivalence(t *testing.T) {
 		t.Errorf("restored cluster diverged: %#x, want %#x", hash64(got), hash64(want))
 	}
 }
+
+// denseThenSendProgram is the partial-idle shape: hart 0 burns a dense ALU
+// loop (the superblock dispatcher's bread and butter), pushes one staged
+// frame through the NIC and parks in WFI; every other hart parks in WFI
+// immediately. While hart 0 computes, the blade has exactly one runnable
+// hart — the compute window must keep dispatching it while the parked
+// harts are skipped arithmetically.
+func denseThenSendProgram(frameLen int, delay int32) *riscv.Asm {
+	a := riscv.NewAsm()
+	a.CSRRS(riscv.T0, riscv.CSRMHartID, riscv.Zero)
+	a.BNE(riscv.T0, riscv.Zero, "park")
+	a.LI(riscv.S0, delay)
+	a.Label("delay")
+	a.ADD(riscv.A1, riscv.A1, riscv.S0)
+	a.XORI(riscv.A2, riscv.A2, 0x3c)
+	a.SLLI(riscv.A3, riscv.A1, 7)
+	a.ADDI(riscv.S0, riscv.S0, -1)
+	a.BNE(riscv.S0, riscv.Zero, "delay")
+	a.LI64(riscv.T0, NICBase)
+	a.LI64(riscv.T1, (DRAMBase+0x2000)|uint64(frameLen)<<48)
+	a.SD(riscv.T1, riscv.T0, nic.RegSendReq)
+	a.Label("poll")
+	a.LD(riscv.T2, riscv.T0, nic.RegCounts)
+	a.SRLI(riscv.T2, riscv.T2, 16)
+	a.ANDI(riscv.T2, riscv.T2, 0xff)
+	a.BEQ(riscv.T2, riscv.Zero, "poll")
+	a.LD(riscv.Zero, riscv.T0, nic.RegSendComp)
+	a.Label("park")
+	a.WFI()
+	a.J("park")
+	return a
+}
+
+// buildPartialIdlePair wires a two-hart sender (hart 0 dense, hart 1
+// parked in WFI) to a single-hart WFI receiver. fast additionally enables
+// the superblock dispatcher on top of the PR5 fast paths.
+func buildPartialIdlePair(t *testing.T, fast bool) *rack {
+	t.Helper()
+	const macA, macB = ethernet.MAC(0x0200_0000_0003), ethernet.MAC(0x0200_0000_0004)
+	frame := &ethernet.Frame{Dst: macB, Src: macA, Type: ethernet.TypeIPv4, Payload: []byte("partial idle payload")}
+	buf, err := frame.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := mustSoC(t, Config{Name: "A", Cores: 2, MAC: macA}, denseThenSendProgram(len(buf), 12_000))
+	sender.DRAM().WriteBytes(0x2000, buf)
+	receiver := mustSoC(t, Config{Name: "B", Cores: 1, MAC: macB}, wfiRecvProgram())
+	tor := switchmodel.New(switchmodel.Config{Name: "tor", Ports: 2})
+	tor.MACTable().Set(macA, 0)
+	tor.MACTable().Set(macB, 1)
+	r := fame.NewRunner()
+	r.Add(sender)
+	r.Add(receiver)
+	r.Add(tor)
+	if err := r.Connect(sender, 0, tor, 0, fpLinkLat); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Connect(receiver, 0, tor, 1, fpLinkLat); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*SoC{sender, receiver} {
+		setFastPaths(s, fast)
+		s.SetSuperblocks(fast)
+	}
+	return &rack{r: r, socs: []*SoC{sender, receiver}, tor: tor}
+}
+
+// TestPartialIdleSkipEquivalence is the superblock PR's keystone: a blade
+// with one dense hart and one WFI hart must take compute windows (parked
+// hart skipped arithmetically, dense hart through block dispatch) and
+// stay bit-identical to per-cycle ticking — under both schedulers, at a
+// mid-window checkpoint taken while the partial idle is active, and
+// across restores that cross both the fast-path setting and the
+// scheduler.
+func TestPartialIdleSkipEquivalence(t *testing.T) {
+	const (
+		chunk    = fpLinkLat * 4
+		midChunk = 6
+		nChunks  = 40
+	)
+	type variant struct {
+		name     string
+		fast     bool
+		parallel bool
+	}
+	variants := []variant{
+		{"fast-seq", true, false},
+		{"fast-par", true, true},
+		{"slow-seq", false, false},
+		{"slow-par", false, true},
+	}
+	finals := make(map[string][]byte)
+	mids := make(map[string][]byte)
+	racks := make(map[string]*rack)
+	for _, v := range variants {
+		rk := buildPartialIdlePair(t, v.fast)
+		if v.parallel {
+			if err := rk.r.SetWorkers(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step := func() error {
+			if v.parallel {
+				return rk.r.RunParallel(chunk)
+			}
+			return rk.r.Run(chunk)
+		}
+		for i := 0; i < nChunks; i++ {
+			if err := step(); err != nil {
+				t.Fatal(err)
+			}
+			if i == midChunk-1 {
+				mids[v.name] = saveRack(t, rk)
+				if v.fast {
+					// The checkpoint must land inside the partial-idle phase:
+					// hart 0 still dense, hart 1 already parked and skipped.
+					if rk.socs[0].PartialIdleCycles() == 0 {
+						t.Errorf("%s: no partial-idle cycles by the mid checkpoint", v.name)
+					}
+					if rk.socs[0].SuperblockInstret() == 0 {
+						t.Errorf("%s: no superblock dispatch by the mid checkpoint", v.name)
+					}
+				}
+			}
+		}
+		finals[v.name] = saveRack(t, rk)
+		racks[v.name] = rk
+	}
+	for _, v := range variants[1:] {
+		if !bytes.Equal(mids[v.name], mids["fast-seq"]) {
+			t.Errorf("%s mid checkpoint %#x != fast-seq %#x", v.name, hash64(mids[v.name]), hash64(mids["fast-seq"]))
+		}
+		if !bytes.Equal(finals[v.name], finals["fast-seq"]) {
+			t.Errorf("%s final state %#x != fast-seq %#x", v.name, hash64(finals[v.name]), hash64(finals["fast-seq"]))
+		}
+	}
+	if !racks["fast-seq"].socs[1].Halted() {
+		t.Fatal("receiver never completed the exchange")
+	}
+	for _, name := range []string{"slow-seq", "slow-par"} {
+		rk := racks[name]
+		if rk.socs[0].PartialIdleCycles() != 0 || rk.socs[0].SuperblockInstret() != 0 {
+			t.Errorf("%s: slow run used fast-path machinery (partIdle=%d sbInstret=%d)",
+				name, rk.socs[0].PartialIdleCycles(), rk.socs[0].SuperblockInstret())
+		}
+	}
+
+	// Cross restores: the fast sequential run's mid-partial-idle checkpoint
+	// into a slow parallel rack, and the slow sequential run's into a fast
+	// parallel rack — both halves must converge to the shared final state.
+	for _, cross := range []struct {
+		from string
+		fast bool
+	}{
+		{"fast-seq", false},
+		{"slow-seq", true},
+	} {
+		resumed := buildPartialIdlePair(t, cross.fast)
+		if err := resumed.r.SetWorkers(2); err != nil {
+			t.Fatal(err)
+		}
+		restoreRack(t, resumed, mids[cross.from])
+		for i := midChunk; i < nChunks; i++ {
+			if err := resumed.r.RunParallel(chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := saveRack(t, resumed); !bytes.Equal(got, finals["fast-seq"]) {
+			t.Errorf("restore %s into fast=%v rack diverged: %#x, want %#x",
+				cross.from, cross.fast, hash64(got), hash64(finals["fast-seq"]))
+		}
+	}
+}

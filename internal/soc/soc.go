@@ -17,6 +17,7 @@ package soc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/blockdev"
@@ -110,6 +111,18 @@ type SoC struct {
 	// was provably idle. Observability only — never snapshotted, so it
 	// cannot perturb StateHash.
 	skipped uint64
+	// partIdle counts hart-cycles the partial-idle park avoided burning on
+	// WFI harts while another hart kept the blade busy (observability only).
+	partIdle uint64
+
+	// Compute-only window state (see computeWindow). winBroke is shared
+	// with every hart via riscv.CPU.BindWindow so an MMIO access can end a
+	// superblock dispatch mid-window.
+	winOn      bool
+	winBroke   bool
+	winStart   clock.Cycles
+	winBrokeAt clock.Cycles
+	active     []*core
 
 	metrics *socMetrics
 }
@@ -165,7 +178,11 @@ func New(cfg Config, program []byte) (*SoC, error) {
 			ilineBytes: uint64(l1i.LineBytes),
 			ihitLat:    l1i.HitLatency,
 		}
+		if lb := uint64(l1i.LineBytes); lb > 1 && lb&(lb-1) == 0 {
+			b.ilineShift = uint(bits.TrailingZeros64(lb))
+		}
 		c := &core{cpu: riscv.New(b, uint64(i), DRAMBase), bus: b}
+		c.cpu.BindWindow(&b.now, &s.winBroke)
 		s.cores = append(s.cores, c)
 	}
 
@@ -246,15 +263,20 @@ func (s *SoC) Name() string { return s.cfg.Name }
 // NumPorts implements fame.Endpoint: the blade's single network port.
 func (s *SoC) NumPorts() int { return 1 }
 
-// TickBatch implements fame.Endpoint. When the whole blade is provably
-// quiescent for the token window it advances the target clock
-// arithmetically (bulk quiescent-cycle skip); otherwise it ticks one
+// TickBatch implements fame.Endpoint. Three paths, fastest proven
+// applicable wins: a fully quiescent blade advances the target clock
+// arithmetically (bulk quiescent-cycle skip); a blade whose devices are
+// idle but with runnable harts takes the compute-only window (superblock
+// dispatch, WFI harts parked arithmetically); otherwise it ticks one
 // cycle at a time: NIC token exchange, device retirement, then every
-// hart. Both paths are bit-identical in every checkpointed observable.
+// hart. All paths are bit-identical in every checkpointed observable.
 func (s *SoC) TickBatch(n int, in, out []*token.Batch) {
-	if s.canSkip(in[0]) {
+	switch {
+	case s.canSkip(in[0]):
 		s.skipQuiescent(n)
-	} else {
+	case s.canComputeWindow(in[0]):
+		s.computeWindow(n, in[0], out[0])
+	default:
 		s.tickCycles(n, in[0], out[0])
 	}
 	if s.metrics != nil {
@@ -266,9 +288,20 @@ func (s *SoC) TickBatch(n int, in, out []*token.Batch) {
 // with a slot cursor (offsets are strictly increasing) instead of
 // expanding it to a dense slice, so an idle window allocates nothing.
 func (s *SoC) tickCycles(n int, in, out *token.Batch) {
+	s.tickCycleRange(0, n, in, out)
+}
+
+// tickCycleRange ticks cycles [from, n) of the current window one at a
+// time, then advances the blade clock by the full n; callers account for
+// cycles [0, from) themselves (the quiescent prefix of a tripped compute
+// window).
+func (s *SoC) tickCycleRange(from, n int, in, out *token.Batch) {
 	slots := in.Slots
 	si := 0
-	for i := 0; i < n; i++ {
+	for si < len(slots) && int(slots[si].Offset) < from {
+		si++
+	}
+	for i := from; i < n; i++ {
 		now := s.cycle + clock.Cycles(i)
 		tok := token.Empty
 		if si < len(slots) && int(slots[si].Offset) == i {
@@ -353,6 +386,162 @@ func (s *SoC) skipQuiescent(n int) {
 	s.cycle += clock.Cycles(n)
 }
 
+// canComputeWindow reports whether the window can run compute-only: no
+// inbound tokens, NIC and block device quiescent, no interrupt pending.
+// Unlike canSkip it does not require idle harts (they are what the window
+// runs) or an idle DRAM (DRAM timing state is a pure function the
+// per-cycle path never ticks; busy harts consult it through their caches
+// exactly as the slow path would).
+func (s *SoC) canComputeWindow(in *token.Batch) bool {
+	if s.noSkip || !in.IsEmpty() {
+		return false
+	}
+	if !s.nic.Quiescent() || !s.bdev.Quiescent() {
+		return false
+	}
+	if s.halted {
+		return true
+	}
+	return !s.nic.IntrPending() && !s.bdev.IntrPending() && !s.devIntrPending()
+}
+
+// computeWindow advances a token window whose devices are provably idle
+// without the per-cycle NIC/blockdev/interrupt bookkeeping: runnable
+// harts execute — through the superblock dispatcher when exactly one hart
+// is runnable (multiple runnable harts stay on per-cycle stepping so
+// cross-hart memory ordering is untouched), WFI harts are parked
+// arithmetically exactly like skipQuiescent, and the NIC's rate-limiter
+// refills are replayed in closed form. The first MMIO access (device
+// windows or the power-off latch; the stateless UART excluded) trips the
+// window: device state is caught up to the access cycle first, so the
+// access observes exactly what the per-cycle path would have shown it,
+// and the rest of the window falls back to per-cycle ticking.
+func (s *SoC) computeWindow(n int, in, out *token.Batch) {
+	base := s.cycle
+	last := base + clock.Cycles(n) - 1
+	wasHalted := s.halted
+	s.winStart = base
+	s.winBroke = false
+	s.winOn = true
+
+	active := s.active[:0]
+	if !wasHalted {
+		for _, c := range s.cores {
+			// The external line is known deasserted for the whole window;
+			// one idempotent clear replaces the per-cycle ones.
+			c.cpu.SetExternalInterrupt(false)
+			if !c.cpu.Halted && !c.cpu.WaitingForInterrupt && c.busyUntil <= last {
+				active = append(active, c)
+			}
+		}
+	}
+	s.active = active
+
+	switch len(active) {
+	case 0:
+		// Devices idle and no hart will run (all WFI/halted, or powered
+		// off, with DRAM timing still draining): pure clock advance.
+	case 1:
+		c := active[0]
+		now := c.busyUntil
+		if now < base {
+			now = base
+		}
+		for now <= last && !c.cpu.Halted && !c.cpu.WaitingForInterrupt {
+			// Replay the per-cycle deassert at each instruction boundary: a
+			// CSR write can set MEIP from software, and the slow path would
+			// clear it again before the next step.
+			c.cpu.SetExternalInterrupt(false)
+			c.cpu.Cycle = now
+			c.bus.now = now
+			used := c.cpu.StepBlock(last + 1 - now)
+			if used == 0 {
+				cost := c.cpu.Step()
+				if cost <= 0 {
+					cost = 1
+				}
+				used = cost
+			}
+			now += used
+			if s.winBroke {
+				break
+			}
+		}
+		c.busyUntil = now
+	default:
+		// Several runnable harts: keep the exact per-cycle interleave (it
+		// orders cross-hart loads and stores) but skip device work.
+		for i := 0; i < n; i++ {
+			now := base + clock.Cycles(i)
+			for _, c := range active {
+				c.cpu.SetExternalInterrupt(false)
+				if now < c.busyUntil || c.cpu.Halted {
+					continue
+				}
+				c.cpu.Cycle = now
+				c.bus.now = now
+				cost := c.cpu.Step()
+				if cost <= 0 {
+					cost = 1
+				}
+				c.busyUntil = now + cost
+			}
+			if s.winBroke {
+				break
+			}
+		}
+	}
+	s.winOn = false
+
+	// Park harts that were (or went) idle: the per-cycle path burns one
+	// cycle per WFI hart per cycle, landing on Cycle=upTo,
+	// busyUntil=upTo+1 by the end of the executed prefix of the window.
+	upTo := last
+	if s.winBroke {
+		upTo = s.winBrokeAt
+	}
+	if !wasHalted {
+		for _, c := range s.cores {
+			if c.cpu.Halted || !c.cpu.WaitingForInterrupt || c.busyUntil > upTo {
+				continue
+			}
+			from := c.busyUntil
+			if from < base {
+				from = base
+			}
+			s.partIdle += uint64(upTo + 1 - from)
+			c.cpu.Cycle = upTo
+			c.bus.now = upTo
+			c.busyUntil = upTo + 1
+		}
+	}
+
+	if s.winBroke {
+		// The trip already replayed NIC refills through winBrokeAt; finish
+		// the window per-cycle from the next cycle (the inbound batch is
+		// empty, so the resumed slot cursor finds nothing).
+		s.tickCycleRange(int(s.winBrokeAt-base)+1, n, in, out)
+		return
+	}
+	s.nic.SkipIdle(base, n)
+	s.cycle += clock.Cycles(n)
+}
+
+// tripFastWindow ends a compute-only window at the cycle of the MMIO
+// access breaking it. NIC state is caught up first — the per-cycle path
+// runs nic.Tick for cycle t before any hart steps at t, so the access
+// must observe post-tick state. The block device needs no catch-up: its
+// quiescent Tick is stateless, which is the same fact skipQuiescent
+// already relies on.
+func (s *SoC) tripFastWindow(now clock.Cycles) {
+	if !s.winOn || s.winBroke {
+		return
+	}
+	s.winBroke = true
+	s.winBrokeAt = now
+	s.nic.SkipIdle(s.winStart, int(now-s.winStart)+1)
+}
+
 func (s *SoC) devIntrPending() bool {
 	for i := range s.devices {
 		if s.devices[i].dev.IntrPending() {
@@ -372,6 +561,7 @@ func (s *SoC) SetFetchMemo(on bool) {
 	for _, c := range s.cores {
 		c.bus.memoOff = !on
 		c.bus.fetchValid = false
+		c.bus.fetch2Valid = false
 	}
 }
 
@@ -382,9 +572,32 @@ func (s *SoC) SetDecodeCache(on bool) {
 	}
 }
 
+// SetSuperblocks toggles every hart's superblock dispatcher (used inside
+// compute-only windows when exactly one hart is runnable).
+func (s *SoC) SetSuperblocks(on bool) {
+	for _, c := range s.cores {
+		c.cpu.SetSuperblocks(on)
+	}
+}
+
 // SkippedCycles reports how many target cycles the quiescent fast path
 // has skipped so far (observability only; excluded from snapshots).
 func (s *SoC) SkippedCycles() uint64 { return s.skipped }
+
+// PartialIdleCycles reports how many WFI hart-cycles the compute-only
+// window parked arithmetically instead of burning one at a time
+// (observability only; excluded from snapshots).
+func (s *SoC) PartialIdleCycles() uint64 { return s.partIdle }
+
+// SuperblockInstret sums instructions retired through superblock dispatch
+// across all harts (observability only).
+func (s *SoC) SuperblockInstret() uint64 {
+	var total uint64
+	for _, c := range s.cores {
+		total += c.cpu.SuperblockInstret()
+	}
+	return total
+}
 
 // InstretTotal sums retired instructions across all harts.
 func (s *SoC) InstretTotal() uint64 {
@@ -468,8 +681,27 @@ type coreBus struct {
 	fetchSet   int
 	fetchWay   int
 	fetchGen   uint64
-	ilineBytes uint64
+	// Second memo entry (the previously fetched line). A loop whose body
+	// straddles a line boundary alternates between two lines every lap;
+	// with a single entry each crossing pays a full set scan.
+	fetch2Valid bool
+	fetch2Line  uint64
+	fetch2Set   int
+	fetch2Way   int
+	fetch2Gen   uint64
+	ilineBytes  uint64
+	ilineShift uint // log2(ilineBytes) when it is a power of two, else 0
 	ihitLat    clock.Cycles
+}
+
+// lineIndex maps a DRAM offset to its I-line index, by shift when the
+// line size is a power of two (the hot fetch path; a 64-bit divide is an
+// order of magnitude slower than a shift on most hosts).
+func (b *coreBus) lineIndex(off uint64) uint64 {
+	if b.ilineShift != 0 {
+		return off >> b.ilineShift
+	}
+	return off / b.ilineBytes
 }
 
 // L1I exposes the instruction cache for stats.
@@ -502,8 +734,8 @@ func (b *coreBus) Fetch(addr uint64) (uint32, clock.Cycles) {
 	return v, lat
 }
 
-// fetchTiming charges the L1I for a fetch at off. When the memo proves
-// the line still resident at the remembered way (same residency
+// fetchTiming charges the L1I for a fetch at off. When either memo entry
+// proves the line still resident at the remembered way (same residency
 // generation), Touch replays the hit path without the set scan; otherwise
 // the full Access runs and the memo is refreshed — after Access the line
 // is always resident, so Lookup cannot fail.
@@ -511,17 +743,41 @@ func (b *coreBus) fetchTiming(off uint64) clock.Cycles {
 	if b.memoOff {
 		return b.l1i.Access(b.now, off, false)
 	}
-	line := off / b.ilineBytes
+	line := b.lineIndex(off)
 	if b.fetchValid && line == b.fetchLine && b.fetchGen == b.l1i.Gen() {
+		return b.l1i.Touch(b.now, b.fetchSet, b.fetchWay, false)
+	}
+	if b.fetch2Valid && line == b.fetch2Line && b.fetch2Gen == b.l1i.Gen() {
+		b.swapFetchMemo()
 		return b.l1i.Touch(b.now, b.fetchSet, b.fetchWay, false)
 	}
 	done := b.l1i.Access(b.now, off, false)
 	if set, way, ok := b.l1i.Lookup(off); ok {
+		b.demoteFetchMemo()
 		b.fetchLine, b.fetchSet, b.fetchWay = line, set, way
 		b.fetchGen = b.l1i.Gen()
 		b.fetchValid = true
 	}
 	return done
+}
+
+// swapFetchMemo promotes the secondary memo entry to primary (MRU order).
+func (b *coreBus) swapFetchMemo() {
+	b.fetchValid, b.fetch2Valid = b.fetch2Valid, b.fetchValid
+	b.fetchLine, b.fetch2Line = b.fetch2Line, b.fetchLine
+	b.fetchSet, b.fetch2Set = b.fetch2Set, b.fetchSet
+	b.fetchWay, b.fetch2Way = b.fetch2Way, b.fetchWay
+	b.fetchGen, b.fetch2Gen = b.fetch2Gen, b.fetchGen
+}
+
+// demoteFetchMemo moves the primary memo entry to the secondary slot
+// ahead of the primary being overwritten with a fresh line.
+func (b *coreBus) demoteFetchMemo() {
+	b.fetch2Valid = b.fetchValid
+	b.fetch2Line = b.fetchLine
+	b.fetch2Set = b.fetchSet
+	b.fetch2Way = b.fetchWay
+	b.fetch2Gen = b.fetchGen
 }
 
 // FetchFast implements riscv.FetchFaster: when the line holding addr is
@@ -534,8 +790,12 @@ func (b *coreBus) FetchFast(addr uint64) (clock.Cycles, bool) {
 		return 0, false
 	}
 	off := dramOffset(addr)
-	if !b.fetchValid || off/b.ilineBytes != b.fetchLine || b.fetchGen != b.l1i.Gen() {
-		return 0, false
+	line := b.lineIndex(off)
+	if !b.fetchValid || line != b.fetchLine || b.fetchGen != b.l1i.Gen() {
+		if !b.fetch2Valid || line != b.fetch2Line || b.fetch2Gen != b.l1i.Gen() {
+			return 0, false
+		}
+		b.swapFetchMemo()
 	}
 	done := b.l1i.Touch(b.now, b.fetchSet, b.fetchWay, false)
 	lat := done - b.now - b.ihitLat
@@ -545,9 +805,36 @@ func (b *coreBus) FetchFast(addr uint64) (clock.Cycles, bool) {
 	return lat, true
 }
 
+// FetchSpan implements riscv.FetchSpanner: replay k consecutive same-line
+// instruction fetches starting at addr in O(1) when the line is provably
+// resident at a memoized way. The batched TouchN is bit-identical to k
+// sequential Touch calls, and each fetch's reported stall is zero (the
+// hit path always is: done - now - ihitLat == 0). Returning false
+// performs no side effects.
+func (b *coreBus) FetchSpan(addr uint64, k int) bool {
+	if b.memoOff || addr < DRAMBase {
+		return false
+	}
+	off := dramOffset(addr)
+	line := b.lineIndex(off)
+	if !b.fetchValid || line != b.fetchLine || b.fetchGen != b.l1i.Gen() {
+		if !b.fetch2Valid || line != b.fetch2Line || b.fetch2Gen != b.l1i.Gen() {
+			return false
+		}
+		b.swapFetchMemo()
+	}
+	b.l1i.TouchN(b.fetchSet, b.fetchWay, k)
+	return true
+}
+
+// ILineBytes implements riscv.FetchSpanner: the instruction-line size,
+// used at superblock build time to chunk fetch spans by line.
+func (b *coreBus) ILineBytes() uint64 { return b.ilineBytes }
+
 // Load implements riscv.Bus.
 func (b *coreBus) Load(addr uint64, size int) (uint64, clock.Cycles) {
 	if dev, off, ok := b.s.decodeMMIO(addr); ok {
+		b.s.tripFastWindow(b.now)
 		return dev.MMIOLoad(b.now, off), mmioLatency
 	}
 	if addr < DRAMBase {
@@ -570,10 +857,12 @@ func (b *coreBus) Load(addr uint64, size int) (uint64, clock.Cycles) {
 // Store implements riscv.Bus.
 func (b *coreBus) Store(addr uint64, size int, v uint64) clock.Cycles {
 	if addr == PowerOff {
+		b.s.tripFastWindow(b.now)
 		b.s.halted = true
 		return 1
 	}
 	if dev, off, ok := b.s.decodeMMIO(addr); ok {
+		b.s.tripFastWindow(b.now)
 		dev.MMIOStore(b.now, off, v)
 		return mmioLatency
 	}

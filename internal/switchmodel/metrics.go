@@ -80,6 +80,13 @@ func (s *Switch) EnableMetrics(reg *obs.Registry) {
 func (s *Switch) publishMetrics() {
 	m := s.metrics
 	cur := s.stats
+	if cur == m.last {
+		// Quiet round: no counter moved, so occupancy cannot have moved
+		// either (enqueue bumps PacketsIn, drain bumps FlitsOut, and a
+		// blocked port bumps StallCycles). Skip the delta walk and the
+		// per-port queue scan entirely.
+		return
+	}
 	addDelta := func(c *obs.Counter, cur, last uint64) {
 		if d := cur - last; d != 0 {
 			c.Add(d)

@@ -5,10 +5,11 @@
 #
 #   scripts/bench.sh -nodes 2,4,8,16 -rounds 4096
 #
-# Overhead numbers come from best-of-reps wall times of interleaved A/B
-# reps; on a busy host the small topologies still jitter by a few percent,
-# so prefer the 8-node row (and the controlled Go benchmark below) when
-# quoting the metrics cost:
+# Overhead numbers alternate base and instrumented regions on one warm
+# cluster (median of flank-normalised ratios, full-region warmup); on a
+# busy host the small topologies still jitter by a few percent, so prefer
+# the raw signed medians trended in BENCH_history.jsonl (and the
+# controlled Go benchmark below) when quoting the metrics cost:
 #
 #   go test -run - -bench DeployedRun ./internal/manager/
 #

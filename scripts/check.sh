@@ -29,18 +29,51 @@ go test -count=1 -run 'TestSelfModifyingCode|TestDecodeCacheRandomToggle' ./inte
 go test -count=1 -run 'TestSkipIdleMatchesTickLoop' ./internal/nic >/dev/null
 go test -count=1 -run 'TestWFIReceiverSkipEquivalence|TestInterruptStormEquivalence|TestClusterFaultedFastPathEquivalence' ./internal/soc >/dev/null
 
+echo "== superblock equivalence gate =="
+# The superblock dispatcher (decode-once/execute-many with fetch spans)
+# must be bit-identical to per-instruction stepping: window-driver
+# equivalence across budget sizes, a store from block N into block N+1's
+# first instruction, random mid-run toggling, and the partial-idle
+# keystone (one dense hart dispatching through blocks while its sibling
+# parks in WFI, checkpointed mid-window and restored across fast-path
+# setting and scheduler).
+go test -count=1 -run 'TestSuperblockEquivalence|TestSuperblockSMCNextBlockPatch|TestSuperblockRandomToggle' ./internal/riscv >/dev/null
+go test -count=1 -run 'TestPartialIdleSkipEquivalence' ./internal/soc >/dev/null
+
 echo "== node-MIPS regression smoke =="
 # The fast paths must actually pay for their complexity. The slow side of
 # each pair is the pre-PR per-cycle path, so BENCH_fame.json carries its
 # own baseline and the gate needs no cross-run BENCH_history.jsonl state:
 # on an idle WFI rack the quiescent skip is orders of magnitude faster
-# than per-cycle ticking (gate 5x, far below the measured ~1000x), and an
-# instruction-dense workload must at minimum not run slower with the
-# predecode cache + fetch memo on (gate 0.95x allows host noise around
-# the measured ~1.2x).
+# than per-cycle ticking (gate 5x, far below the measured ~1000x); an
+# instruction-dense workload must beat per-cycle ticking by 3x with the
+# full fast-path stack on (superblocks + spans measure 3.7-5.6x here, vs
+# ~1.2x before block dispatch — the 3x floor encodes the issue's >=2.5x
+# over that baseline with host-noise margin); and the superblock A-B
+# (fast paths with only block dispatch off) must show dispatch itself
+# still pays (gate 1.3x, measured 1.6-2.1x).
 go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 2 \
     -node-nodes 4 -node-rounds 256 \
-    -idle-min-speedup 5 -dense-min-speedup 0.95 -out "$(mktemp)" >/dev/null
+    -idle-min-speedup 5 -dense-min-speedup 3.0 -sb-min-speedup 1.3 \
+    -out "$(mktemp)" >/dev/null
+
+echo "== metrics overhead gate (2 nodes) =="
+# Leaving the obs instruments attached must cost under 5% on a loaded
+# 2-node rack, both schedulers. The estimator alternates base and
+# instrumented regions on one warm cluster and takes the median of
+# flank-normalised ratios, but a single invocation can still catch a
+# host-frequency swing mid-sequence; a real regression fails every
+# attempt, so up to three tries de-flakes the gate without loosening it.
+OVERHEAD_OK=0
+for attempt in 1 2 3; do
+    if go run ./cmd/firesim bench -nodes 2 -rounds 2048 -reps 5 \
+        -node-nodes 0 -max-overhead-pct 5 -out "$(mktemp)" >/dev/null; then
+        OVERHEAD_OK=1
+        break
+    fi
+    echo "   attempt $attempt exceeded the overhead gate, retrying"
+done
+[ "$OVERHEAD_OK" = 1 ] || { echo "FAIL: 2-node metrics overhead above 5% on 3 attempts" >&2; exit 1; }
 
 echo "== parallel speedup gate (8 nodes) =="
 # The worker-pool scheduler must never lose to the sequential one. On a
