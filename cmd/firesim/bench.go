@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/clock"
@@ -22,6 +23,35 @@ type benchVariant struct {
 	Slowdown  float64 `json:"slowdown"`
 }
 
+// schedTune bundles the parallel-scheduler tuning surface a bench
+// invocation applies to every deployment: worker count plus the
+// multiplexing/slack knobs. All host-side only — none of these change
+// simulated behaviour.
+type schedTune struct {
+	workers     int
+	multiplexed bool
+	ringSlack   int
+	balancePct  int
+}
+
+// sweepPoint is one measurement of the worker-sweep pass: one (nodes,
+// workers) cell. EffectiveWorkers and SchedUnits record what the runner
+// actually did — the requested count is capped at the endpoint-group
+// count, so a speedup is only attributable to the effective value.
+type sweepPoint struct {
+	Nodes            int     `json:"nodes"`
+	Workers          int     `json:"workers"`
+	EffectiveWorkers int     `json:"effective_workers"`
+	SchedUnits       int     `json:"sched_units"`
+	Multiplexed      bool    `json:"multiplexed"`
+	WallNanos        int64   `json:"wall_ns"`
+	SimHz            float64 `json:"sim_hz"`
+	// SpeedupVs1W is this cell's best wall time against the same size's
+	// 1-worker (sequential-delegate) best: the scaling curve the sweep
+	// exists to record.
+	SpeedupVs1W float64 `json:"speedup_vs_1_worker"`
+}
+
 // benchResult is the sim-rate record for one topology size.
 type benchResult struct {
 	Nodes  int    `json:"nodes"`
@@ -31,6 +61,12 @@ type benchResult struct {
 	RunParallel        benchVariant `json:"run_parallel"`
 	RunMetrics         benchVariant `json:"run_metrics"`
 	RunParallelMetrics benchVariant `json:"run_parallel_metrics"`
+
+	// EffectiveWorkers/SchedUnits are what the parallel variant actually
+	// ran with (the -workers request is capped at the endpoint-group
+	// count; units are per-endpoint in pool mode, per-worker multiplexed).
+	EffectiveWorkers int `json:"effective_workers"`
+	SchedUnits       int `json:"sched_units"`
 
 	// Overhead of enabling metrics, percent of wall time: the median of
 	// per-rep wall-time ratios. Each rep measures base and instrumented
@@ -61,9 +97,17 @@ type benchFile struct {
 	// Workers is the -workers flag (0 = GOMAXPROCS); GOMAXPROCS records
 	// what that default resolved to on the bench host, so speedup numbers
 	// can be read against the core count that produced them.
-	Workers    int           `json:"workers"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Results    []benchResult `json:"results"`
+	Workers    int  `json:"workers"`
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	// Scheduler tuning the whole invocation ran under (see schedTune).
+	Multiplexed     bool          `json:"multiplexed,omitempty"`
+	RingSlack       int           `json:"ring_slack,omitempty"`
+	BalanceSlackPct int           `json:"balance_slack_pct,omitempty"`
+	Results         []benchResult `json:"results"`
+	// WorkerSweep is the multi-core scaling pass: every (nodes, workers)
+	// cell from -worker-sweep × -sweep-nodes, with per-cell effective
+	// worker counts and speedup-vs-1-worker.
+	WorkerSweep []sweepPoint `json:"worker_sweep,omitempty"`
 	// NodeResults covers the per-node compute loop (SoC blades running
 	// machine code) with the fast paths on vs off; see nodebench.go.
 	NodeResults []nodeBenchResult `json:"node_results,omitempty"`
@@ -89,6 +133,13 @@ type benchHistoryEntry struct {
 	// (MIPS) and "<workload>" (fast-over-slow wall-time speedup).
 	NodeMIPS        map[string]float64 `json:"node_mips,omitempty"`
 	NodeFastSpeedup map[string]float64 `json:"node_fast_speedup,omitempty"`
+	// Worker-sweep digests, keyed "<nodes>n<workers>w" (e.g. "32n4w"):
+	// sim rate and speedup vs the same size's 1-worker baseline, plus the
+	// effective worker count that produced each cell.
+	Multiplexed  bool               `json:"multiplexed,omitempty"`
+	SweepHz      map[string]float64 `json:"sweep_hz,omitempty"`
+	SweepSpeedup map[string]float64 `json:"sweep_speedup,omitempty"`
+	SweepEffW    map[string]int     `json:"sweep_effective_workers,omitempty"`
 }
 
 func cmdBench(args []string) error {
@@ -98,6 +149,13 @@ func cmdBench(args []string) error {
 	reps := fs.Int("reps", 5, "repetitions per variant (best wall time wins)")
 	latencyUs := fs.Float64("latency-us", 2, "link latency in microseconds")
 	workers := fs.Int("workers", 0, "parallel scheduler worker count (0 = GOMAXPROCS)")
+	multiplexed := fs.Bool("multiplexed", false, "run parallel measurements in the many-nodes-per-worker scheduling mode")
+	ringSlack := fs.Int("ring-slack", 0, "extra producer-side rounds of slack on cross-worker rings")
+	balanceSlackPct := fs.Int("balance-slack-pct", 0, "percent the partitioner's balance cap may be exceeded to co-locate links")
+	workerSweep := fs.String("worker-sweep", "", "comma-separated worker counts for the multi-core scaling sweep (empty disables it)")
+	sweepNodes := fs.String("sweep-nodes", "8,16,32,64", "comma-separated rack sizes for the worker sweep")
+	sweepRounds := fs.Int("sweep-rounds", 0, "link-latency rounds per sweep measurement (0 = -rounds)")
+	sweepMinSpeedup := fs.String("sweep-min-speedup", "", "scaling gate, e.g. \"2:1.6,4:2.5\": fail unless the sweep's best speedup at W effective workers reaches the bound")
 	nodeNodes := fs.Int("node-nodes", 4, "blade count for the per-node compute-loop bench (0 disables it)")
 	nodeRounds := fs.Int("node-rounds", 512, "link-latency rounds per node-bench measurement")
 	idleMinSpeedup := fs.Float64("idle-min-speedup", 0, "fail unless the idle workload's fast-path speedup reaches this (0 disables the gate)")
@@ -116,6 +174,13 @@ func cmdBench(args []string) error {
 		return err
 	}
 
+	tune := schedTune{
+		workers:     *workers,
+		multiplexed: *multiplexed,
+		ringSlack:   *ringSlack,
+		balancePct:  *balanceSlackPct,
+	}
+
 	clk := clock.New(clock.DefaultTargetClock)
 	doc := benchFile{
 		GeneratedBy:       "firesim bench",
@@ -125,11 +190,14 @@ func cmdBench(args []string) error {
 		Reps:              *reps,
 		Workers:           *workers,
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Multiplexed:       *multiplexed,
+		RingSlack:         *ringSlack,
+		BalanceSlackPct:   *balanceSlackPct,
 	}
 
-	table := stats.NewTable("Nodes", "Run", "RunParallel", "Speedup", "Metrics overhead")
+	table := stats.NewTable("Nodes", "Run", "RunParallel", "Speedup", "EffWorkers", "Metrics overhead")
 	for _, n := range sizes {
-		r, err := benchOneSize(n, *rounds, *reps, *workers, clk.CyclesInMicros(*latencyUs))
+		r, err := benchOneSize(n, *rounds, *reps, tune, clk.CyclesInMicros(*latencyUs))
 		if err != nil {
 			return fmt.Errorf("bench %d nodes: %w", n, err)
 		}
@@ -137,7 +205,33 @@ func cmdBench(args []string) error {
 		table.AddRow(n,
 			clock.Hz(r.Run.SimHz), clock.Hz(r.RunParallel.SimHz),
 			fmt.Sprintf("%.2fx", r.ParallelSpeedup),
+			r.EffectiveWorkers,
 			fmt.Sprintf("%+.1f%% / %+.1f%%", r.RunOverheadPct, r.RunParallelOverheadPct))
+	}
+
+	sweepTable := stats.NewTable("Nodes", "Workers", "EffWorkers", "SchedUnits", "SimHz", "Speedup vs 1w")
+	if *workerSweep != "" {
+		counts, err := parseFanouts(*workerSweep)
+		if err != nil {
+			return fmt.Errorf("bench: -worker-sweep: %w", err)
+		}
+		swSizes, err := parseFanouts(*sweepNodes)
+		if err != nil {
+			return fmt.Errorf("bench: -sweep-nodes: %w", err)
+		}
+		swRounds := *sweepRounds
+		if swRounds <= 0 {
+			swRounds = *rounds
+		}
+		points, err := benchWorkerSweep(swSizes, counts, swRounds, *reps, tune, clk.CyclesInMicros(*latencyUs))
+		if err != nil {
+			return err
+		}
+		doc.WorkerSweep = points
+		for _, p := range points {
+			sweepTable.AddRow(p.Nodes, p.Workers, p.EffectiveWorkers, p.SchedUnits,
+				clock.Hz(p.SimHz), fmt.Sprintf("%.2fx", p.SpeedupVs1W))
+		}
 	}
 
 	nodeTable := stats.NewTable("Workload", "Fast", "Slow", "Speedup", "SB speedup", "MIPS fast/slow", "Skipped")
@@ -177,6 +271,14 @@ func cmdBench(args []string) error {
 	fmt.Printf("sim-rate across topology sizes (%d rounds x %d reps, link %.3g us):\n",
 		*rounds, *reps, *latencyUs)
 	fmt.Print(table.String())
+	if len(doc.WorkerSweep) > 0 {
+		mode := "pool"
+		if *multiplexed {
+			mode = "multiplexed"
+		}
+		fmt.Printf("multi-core worker sweep (%s mode, GOMAXPROCS=%d):\n", mode, doc.GOMAXPROCS)
+		fmt.Print(sweepTable.String())
+	}
 	if len(doc.NodeResults) > 0 {
 		fmt.Printf("per-node compute loop, %d blades x %d rounds, fast paths on vs off:\n",
 			*nodeNodes, *nodeRounds)
@@ -223,6 +325,11 @@ func cmdBench(args []string) error {
 				got.SuperblockSpeedup, *sbMinSpeedup)
 		}
 	}
+	if *sweepMinSpeedup != "" {
+		if err := checkSweepGate(doc.WorkerSweep, *sweepMinSpeedup); err != nil {
+			return err
+		}
+	}
 	if *maxOverheadPct > 0 {
 		for _, r := range doc.Results {
 			if r.RunOverheadPct > *maxOverheadPct || r.RunParallelOverheadPct > *maxOverheadPct {
@@ -238,7 +345,7 @@ func cmdBench(args []string) error {
 	// deployment and JSON noise).
 	if *cpuprofile != "" || *tracefile != "" {
 		largest := sizes[len(sizes)-1]
-		if err := profilePass(largest, *rounds, *workers, clk.CyclesInMicros(*latencyUs), *cpuprofile, *tracefile); err != nil {
+		if err := profilePass(largest, *rounds, tune, clk.CyclesInMicros(*latencyUs), *cpuprofile, *tracefile); err != nil {
 			return err
 		}
 		fmt.Printf("profiled %d-node round loops (cpu=%q trace=%q)\n", largest, *cpuprofile, *tracefile)
@@ -271,6 +378,18 @@ func appendBenchHistory(path string, doc *benchFile) error {
 		e.RunOverheadRawPct[key] = r.RunOverheadRawPct
 		e.ParOverheadRawPct[key] = r.RunParallelOverheadRawPct
 	}
+	if len(doc.WorkerSweep) > 0 {
+		e.Multiplexed = doc.Multiplexed
+		e.SweepHz = map[string]float64{}
+		e.SweepSpeedup = map[string]float64{}
+		e.SweepEffW = map[string]int{}
+		for _, p := range doc.WorkerSweep {
+			key := fmt.Sprintf("%dn%dw", p.Nodes, p.Workers)
+			e.SweepHz[key] = p.SimHz
+			e.SweepSpeedup[key] = p.SpeedupVs1W
+			e.SweepEffW[key] = p.EffectiveWorkers
+		}
+	}
 	if len(doc.NodeResults) > 0 {
 		e.NodeMIPS = map[string]float64{}
 		e.NodeFastSpeedup = map[string]float64{}
@@ -297,13 +416,120 @@ func appendBenchHistory(path string, doc *benchFile) error {
 	return err
 }
 
+// benchWorkerSweep measures the multi-core scaling curve: for each rack
+// size, the best-of-reps wall time at each requested worker count,
+// normalized against the same size's 1-worker baseline (which is measured
+// whether or not 1 appears in counts — a speedup needs its denominator).
+// Each cell records the runner's effective worker count and scheduling-
+// unit count, so a flat curve on a saturated host is attributable.
+func benchWorkerSweep(sizes, counts []int, rounds, reps int, tune schedTune, linkLatency clock.Cycles) ([]sweepPoint, error) {
+	withBase := counts
+	for _, w := range counts {
+		if w == 1 {
+			withBase = nil
+			break
+		}
+	}
+	if withBase != nil {
+		withBase = append([]int{1}, counts...)
+	} else {
+		withBase = counts
+	}
+
+	var points []sweepPoint
+	for _, nodes := range sizes {
+		var baseWall int64
+		for _, w := range withBase {
+			t := tune
+			t.workers = w
+			c, _, err := benchDeploy(nodes, rounds*(reps+1), t, linkLatency, true, false)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %d nodes x %d workers: %w", nodes, w, err)
+			}
+			step := c.Runner.Step()
+			region := clock.Cycles(rounds) * step
+			// Same warm-up discipline as benchOneSize: burn one unbilled
+			// region so cold caches never land in a measured rate.
+			runtime.GC()
+			if _, err := c.Runner.Measure(region, clock.DefaultTargetClock, true); err != nil {
+				return nil, err
+			}
+			best := time.Duration(-1)
+			for i := 0; i < reps; i++ {
+				runtime.GC()
+				rate, err := c.Runner.Measure(region, clock.DefaultTargetClock, true)
+				if err != nil {
+					return nil, fmt.Errorf("sweep %d nodes x %d workers: %w", nodes, w, err)
+				}
+				if best < 0 || rate.Wall < best {
+					best = rate.Wall
+				}
+			}
+			p := sweepPoint{
+				Nodes:            nodes,
+				Workers:          w,
+				EffectiveWorkers: c.Runner.EffectiveWorkers(),
+				SchedUnits:       c.Runner.SchedUnits(),
+				Multiplexed:      tune.multiplexed,
+			}
+			v := toVariant(region, best)
+			p.WallNanos, p.SimHz = v.WallNanos, v.SimHz
+			if w == 1 {
+				baseWall = p.WallNanos
+			}
+			if baseWall > 0 && p.WallNanos > 0 {
+				p.SpeedupVs1W = float64(baseWall) / float64(p.WallNanos)
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// checkSweepGate enforces a "W:min,W:min" scaling gate against the sweep:
+// for each entry, the best speedup-vs-1-worker over cells that actually
+// ran with W effective workers must reach min. Gating on the effective
+// count keeps the gate honest — a host that silently capped the worker
+// count fails loudly instead of passing on the baseline's parity.
+func checkSweepGate(points []sweepPoint, spec string) error {
+	if len(points) == 0 {
+		return fmt.Errorf("bench: -sweep-min-speedup set but the worker sweep did not run (see -worker-sweep)")
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		var w int
+		var min float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(entry), "%d:%f", &w, &min); err != nil {
+			return fmt.Errorf("bench: -sweep-min-speedup entry %q: want W:MIN", entry)
+		}
+		best := -1.0
+		for _, p := range points {
+			if p.EffectiveWorkers == w && p.SpeedupVs1W > best {
+				best = p.SpeedupVs1W
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("bench: sweep gate %d:%.2f: no sweep cell ran with %d effective workers", w, min, w)
+		}
+		if best < min {
+			return fmt.Errorf("bench: sweep speedup at %d workers is %.2fx, below the %.2fx gate", w, best, min)
+		}
+	}
+	return nil
+}
+
 // benchDeploy stands up one ping-loaded rack ready to measure: pings
 // armed, one warm-up slice already run with the requested scheduler so
 // cold caches and first-round batch allocation are never billed to a
 // measured rate.
-func benchDeploy(nodes, rounds, workers int, linkLatency clock.Cycles, parallel, withMetrics bool) (*core.Cluster, clock.Cycles, error) {
+func benchDeploy(nodes, rounds int, tune schedTune, linkLatency clock.Cycles, parallel, withMetrics bool) (*core.Cluster, clock.Cycles, error) {
 	c, err := core.Deploy(core.Rack("tor0", nodes, core.QuadCore),
-		core.DeployConfig{LinkLatency: linkLatency, Workers: workers})
+		core.DeployConfig{
+			LinkLatency:     linkLatency,
+			Workers:         tune.workers,
+			Multiplexed:     tune.multiplexed,
+			RingSlack:       tune.ringSlack,
+			BalanceSlackPct: tune.balancePct,
+		})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -340,13 +566,13 @@ func benchDeploy(nodes, rounds, workers int, linkLatency clock.Cycles, parallel,
 // two flanking base regions (linear drift cancels exactly), and the
 // median across reps rejects the occasional region a GC pause or
 // scheduler preemption inflates. Displayed rates are best-of-regions.
-func benchOneSize(nodes, rounds, reps, workers int, linkLatency clock.Cycles) (benchResult, error) {
+func benchOneSize(nodes, rounds, reps int, tune schedTune, linkLatency clock.Cycles) (benchResult, error) {
 	res := benchResult{Nodes: nodes}
 	measurePair := func(parallel bool) (base, inst benchVariant, overhead, raw float64, err error) {
 		regions := 2*reps + 1
 		// One extra region's worth of pings covers the unbilled warm-up
 		// region below.
-		c, _, err := benchDeploy(nodes, rounds*(regions+1), workers, linkLatency, parallel, false)
+		c, _, err := benchDeploy(nodes, rounds*(regions+1), tune, linkLatency, parallel, false)
 		if err != nil {
 			return base, inst, 0, 0, err
 		}
@@ -408,6 +634,10 @@ func benchOneSize(nodes, rounds, reps, workers int, linkLatency clock.Cycles) (b
 		if overhead < 0 {
 			overhead = 0
 		}
+		if parallel {
+			res.EffectiveWorkers = c.Runner.EffectiveWorkers()
+			res.SchedUnits = c.Runner.SchedUnits()
+		}
 		return toVariant(region, bestBase), toVariant(region, bestInst), overhead, raw, nil
 	}
 
@@ -428,12 +658,12 @@ func benchOneSize(nodes, rounds, reps, workers int, linkLatency clock.Cycles) (b
 // collectors from internal/obs armed around only the measured round
 // loops: deployment, ping arming and warm-up happen before Start, the
 // JSON/teardown after Stop.
-func profilePass(nodes, rounds, workers int, linkLatency clock.Cycles, cpuPath, tracePath string) error {
-	seq, seqCycles, err := benchDeploy(nodes, rounds, workers, linkLatency, false, false)
+func profilePass(nodes, rounds int, tune schedTune, linkLatency clock.Cycles, cpuPath, tracePath string) error {
+	seq, seqCycles, err := benchDeploy(nodes, rounds, tune, linkLatency, false, false)
 	if err != nil {
 		return err
 	}
-	par, parCycles, err := benchDeploy(nodes, rounds, workers, linkLatency, true, false)
+	par, parCycles, err := benchDeploy(nodes, rounds, tune, linkLatency, true, false)
 	if err != nil {
 		return err
 	}

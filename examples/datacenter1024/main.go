@@ -17,13 +17,23 @@ import (
 
 func main() {
 	rounds := flag.Int("rounds", 400, "link-latency batches of target time to simulate")
+	parallel := flag.Bool("parallel", false, "measure with the parallel worker-pool scheduler")
+	workers := flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
+	multiplexed := flag.Bool("multiplexed", false, "fuse each worker's endpoints into one scheduling unit (implies -parallel)")
 	flag.Parse()
+	if *multiplexed {
+		*parallel = true
+	}
 
 	topo, err := core.Tree([]int{4, 8, 32}, core.QuadCore)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster, err := core.Deploy(topo, core.DeployConfig{Supernode: true})
+	cluster, err := core.Deploy(topo, core.DeployConfig{
+		Supernode:   true,
+		Workers:     *workers,
+		Multiplexed: *multiplexed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,9 +53,20 @@ func main() {
 	fmt.Print(t.String())
 
 	fmt.Printf("\nsimulating %d batches of target time...\n", *rounds)
-	rate, err := core.MeasureRate(cluster, cluster.LinkLatency*clock.Cycles(*rounds))
+	cycles := cluster.LinkLatency * clock.Cycles(*rounds)
+	var rate clock.SimRate
+	if *parallel {
+		cycles -= cycles % cluster.Runner.Step()
+		rate, err = cluster.Runner.Measure(cycles, clock.DefaultTargetClock, true)
+	} else {
+		rate, err = core.MeasureRate(cluster, cycles)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *parallel {
+		fmt.Printf("parallel scheduler: %d effective workers, %d scheduling units (multiplexed=%v)\n",
+			cluster.Runner.EffectiveWorkers(), cluster.Runner.SchedUnits(), *multiplexed)
 	}
 	fmt.Printf("simulation rate on this host: %v\n", rate)
 	fmt.Printf("(the paper's EC2 F1 deployment ran this target at 3.42 MHz, <1000x slowdown)\n")

@@ -161,6 +161,28 @@ type Runner struct {
 	// zero means GOMAXPROCS (see SetWorkers in parallel.go).
 	workers int
 
+	// multiplexed selects the many-nodes-per-worker scheduling mode: each
+	// worker's endpoints are fused into one scheduling unit (see mux.go)
+	// instead of one plan entry per endpoint. Host-side only; token
+	// streams are bit-identical either way.
+	multiplexed bool
+
+	// ringSlack adds extra producer-side headroom (in rounds) to every
+	// cross-worker SPSC ring beyond the mandatory latency depth, and
+	// balanceSlackPct loosens the partitioner's balance cap by the given
+	// percentage in favour of link co-location. Both are host-side tuning
+	// knobs (see SetRingSlack / SetBalanceSlackPct in parallel.go).
+	ringSlack       int
+	balanceSlackPct int
+
+	// effWorkers and schedUnits record the shape of the most recent
+	// RunParallel: how many workers actually ran after endpoint-count
+	// capping, and how many scheduling units they executed. Benchmarks
+	// read them so sweep points are attributable to the real worker count
+	// rather than the requested one.
+	effWorkers int
+	schedUnits int
+
 	// stepOverride, when non-zero, forces a smaller batch step than the
 	// latency GCD (it must divide every link latency). Target behaviour is
 	// identical — only host performance changes — which makes it the

@@ -126,7 +126,7 @@ func restoreChainState(t *testing.T, stream []byte, r *Runner, comps ...snapshot
 // cycle window, the runner refuses further runs and saves while
 // poisoned, and restoring the pre-panic checkpoint then re-running (with
 // the fault disarmed) lands bit-identical to an undisturbed run.
-func testPanicContainment(t *testing.T, parallel bool) {
+func testPanicContainment(t *testing.T, parallel, mux bool) {
 	run := func(r *Runner, cycles clock.Cycles) error {
 		if parallel {
 			return r.RunParallel(cycles)
@@ -137,6 +137,7 @@ func testPanicContainment(t *testing.T, parallel bool) {
 	// Undisturbed reference.
 	ref, aR, r1R, r2R, zR := faultChain()
 	ref.SetWorkers(2)
+	ref.SetMultiplexed(mux)
 	if err := run(ref, 64); err != nil {
 		t.Fatal(err)
 	}
@@ -145,6 +146,7 @@ func testPanicContainment(t *testing.T, parallel bool) {
 	// Faulty run: checkpoint at 32, arm r2 to blow up at cycle 40.
 	r, a, r1, r2, z := faultChain()
 	r.SetWorkers(2)
+	r.SetMultiplexed(mux)
 	if err := run(r, 32); err != nil {
 		t.Fatal(err)
 	}
@@ -197,8 +199,8 @@ func testPanicContainment(t *testing.T, parallel bool) {
 	}
 }
 
-func TestSequentialPanicContainment(t *testing.T) { testPanicContainment(t, false) }
-func TestParallelPanicContainment(t *testing.T)   { testPanicContainment(t, true) }
+func TestSequentialPanicContainment(t *testing.T) { testPanicContainment(t, false, false) }
+func TestParallelPanicContainment(t *testing.T)   { testPanicContainment(t, true, false) }
 
 // disjointPairs is a 4-endpoint topology made of two independent pairs —
 // the shape of one shard process hosting two re-packed partition units.

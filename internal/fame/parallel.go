@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/hostplatform"
 	"repro/internal/token"
 )
 
@@ -45,6 +46,13 @@ import (
 // directly — on a single-core host "actually parallel" means "no slower
 // than sequential", which the old design failed.
 //
+// Scheduling granularity: by default each endpoint is its own schedule
+// entry within its worker. SetMultiplexed(true) selects the FAME-style
+// many-nodes-per-worker mode instead, where a worker's whole endpoint
+// group is fused into one scheduling unit (see mux.go) — datacenter-scale
+// topologies then need only Workers() scheduling units, not one per
+// endpoint.
+//
 // Deadlock freedom: every cross-worker data ring has capacity ≥ depth+1
 // (at least one free slot beyond the seeded in-flight population), so any
 // wait-for cycle would need positive total slack around a topology cycle;
@@ -74,9 +82,66 @@ func (r *Runner) Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// EffectiveWorkers reports how many workers the most recent RunParallel
+// actually ran after capping at the endpoint count and dropping empty
+// partition bins (1 when the run delegated to the sequential loop, 0
+// before any RunParallel). Benchmarks record this per sweep point so a
+// measured speedup is attributable to the worker count that produced it,
+// not the requested one.
+func (r *Runner) EffectiveWorkers() int { return r.effWorkers }
+
+// SchedUnits reports how many scheduling units the most recent
+// RunParallel compiled: one per endpoint in the default pool mode (the
+// sequential delegate also schedules each endpoint individually), one per
+// worker in multiplexed mode. This is the number the many-nodes-per-worker
+// mode exists to bound: a 1024-node topology multiplexed onto 8 workers
+// runs as 8 units, not ~1100.
+func (r *Runner) SchedUnits() int { return r.schedUnits }
+
+// SetRingSlack adds n rounds of producer-side headroom to every
+// cross-worker SPSC ring: the data ring grows by n slots and the free
+// ring is pre-seeded with n spare batches, so a worker can run up to
+// 1+n rounds ahead of a lagging consumer before blocking (the consumer
+// side already has the full latency depth of slack). Host-side tuning
+// only — rings are FIFO, so token streams are bit-identical for every
+// value. The default is 0: on the single-core host this repo is grown on
+// the measured sweep shows no benefit (workers time-slice anyway), and
+// extra slack only costs memory; multi-core hosts with bursty endpoint
+// costs can widen the window via `firesim bench -ring-slack`.
+func (r *Runner) SetRingSlack(n int) error {
+	if n < 0 {
+		return fmt.Errorf("fame: ring slack must be >= 0, got %d", n)
+	}
+	r.ringSlack = n
+	return nil
+}
+
+// RingSlack reports the configured cross-worker ring slack, in rounds.
+func (r *Runner) RingSlack() int { return r.ringSlack }
+
+// SetBalanceSlackPct loosens the partitioner's balance cap by p percent:
+// merged link groups may grow to ceil(total/workers)*(100+p)/100 weight
+// before a merge is refused. More slack trades worker balance for link
+// co-location (fewer cross-worker rings). Host-side tuning only; the
+// partition stays deterministic for every value. Default 0 — the measured
+// sweep at 8–64 nodes shows the star/tree benches are ring-bound only at
+// the ToR boundary, which no cap setting can co-locate without collapsing
+// to one worker.
+func (r *Runner) SetBalanceSlackPct(p int) error {
+	if p < 0 {
+		return fmt.Errorf("fame: balance slack must be >= 0 percent, got %d", p)
+	}
+	r.balanceSlackPct = p
+	return nil
+}
+
+// BalanceSlackPct reports the partitioner's balance-cap slack, percent.
+func (r *Runner) BalanceSlackPct() int { return r.balanceSlackPct }
+
 // partition splits endpoint indices into at most `workers` groups. It is
-// deterministic (a pure function of the registered topology and the
-// worker count) and aims for two properties, in order:
+// deterministic (a pure function of the registered topology, the worker
+// count and the balance-slack knob) and aims for two properties, in
+// order:
 //
 //  1. balance: group weights stay near total/workers, with an endpoint's
 //     port count as its cost proxy (a switch ticking 32 ports does
@@ -85,9 +150,15 @@ func (r *Runner) Workers() int {
 //     the balance cap allows, so their links need no synchronization.
 //
 // Greedy merge over links in registration order (union-find, capped at
-// ceil(total/workers)), then first-fit-decreasing packing of the merged
-// groups into the worker bins. Empty bins are dropped; each returned
-// group is sorted by endpoint index, which is the worker's tick order.
+// ceil(total/workers) plus the configured slack), then the merged groups
+// are packed by hostplatform.PackUnits — descending weight onto the
+// least-loaded bin (worst-fit decreasing, the LPT balancing heuristic;
+// NOT first-fit-decreasing, which minimises bin count rather than
+// balancing a fixed bin set), ties broken by ascending group then bin
+// index. This is the same packing the distributed reshard path uses, so
+// in-process workers and multi-process shards balance identically. Empty
+// bins are dropped; each returned group is sorted by endpoint index,
+// which is the worker's tick order.
 func (r *Runner) partition(workers int) [][]int {
 	ne := len(r.endpoints)
 	if workers > ne {
@@ -112,6 +183,7 @@ func (r *Runner) partition(workers int) [][]int {
 		total += w
 	}
 	maxGroup := (total + workers - 1) / workers
+	maxGroup += maxGroup * r.balanceSlackPct / 100
 
 	parent := make([]int, ne)
 	wsum := make([]int, ne)
@@ -139,7 +211,9 @@ func (r *Runner) partition(workers int) [][]int {
 	}
 
 	// Collect merged groups; scanning i ascending makes each group's
-	// first member its smallest index.
+	// first member its smallest index, so group indices are ordered by
+	// first member — which is what makes PackUnits' ascending-index
+	// tie-break deterministic here too.
 	groupOf := make(map[int]int, ne)
 	var groups [][]int
 	var gw []int
@@ -155,37 +229,17 @@ func (r *Runner) partition(workers int) [][]int {
 		groups[gi] = append(groups[gi], i)
 	}
 
-	order := make([]int, len(groups))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(x, y int) bool {
-		gx, gy := order[x], order[y]
-		if gw[gx] != gw[gy] {
-			return gw[gx] > gw[gy]
-		}
-		return groups[gx][0] < groups[gy][0]
-	})
-	bins := make([][]int, workers)
-	load := make([]int, workers)
-	for _, gi := range order {
-		best := 0
-		for b := 1; b < workers; b++ {
-			if load[b] < load[best] {
-				best = b
-			}
-		}
-		bins[best] = append(bins[best], groups[gi]...)
-		load[best] += gw[gi]
-	}
-
-	parts := bins[:0]
-	for _, b := range bins {
-		if len(b) == 0 {
+	var parts [][]int
+	for _, unitIdxs := range hostplatform.PackUnits(gw, workers) {
+		if len(unitIdxs) == 0 {
 			continue
 		}
-		sort.Ints(b)
-		parts = append(parts, b)
+		var bin []int
+		for _, gi := range unitIdxs {
+			bin = append(bin, groups[gi]...)
+		}
+		sort.Ints(bin)
+		parts = append(parts, bin)
 	}
 	return parts
 }
@@ -202,14 +256,27 @@ type ringPair struct {
 }
 
 // newRingPair moves ch's in-flight queue and free pool into fresh rings.
-// Overflow is a counted error, not a silent GC drop: the sizing makes it
-// impossible, so hitting it means a broken invariant and the run must not
-// proceed on a leaking pool.
+//
+// Sizing invariant (checked, not assumed — see TestRingPairSizing):
+//   - data holds depth+1+slack slots: depth seeded in-flight batches,
+//     plus one slot so the producer can push its round's output before
+//     the consumer pops (the transient the sequential scheduler also
+//     exhibits at a round boundary), plus the configured ring slack;
+//   - free holds depth+3+slack slots: the circulating population is
+//     bounded by depth seeded batches + one in each side's hands + slack
+//     spares = depth+2+slack, and one more slot keeps the bound strict
+//     rather than exact, so seeding overflow is impossible by
+//     construction.
+//
+// Overflow is therefore a counted error, not a silent GC drop: hitting it
+// means a broken invariant and the run must not proceed on a leaking
+// pool.
 func (r *Runner) newRingPair(ch *channel, m *runnerMetrics) (*ringPair, error) {
 	depth := int(ch.latency / r.step)
+	slack := r.ringSlack
 	rp := &ringPair{
-		data: newSPSCRing(depth + 1),
-		free: newSPSCRing(depth + 3),
+		data: newSPSCRing(depth + 1 + slack),
+		free: newSPSCRing(depth + 3 + slack),
 		ch:   ch,
 	}
 	for ch.queue.len() > 0 {
@@ -228,6 +295,17 @@ func (r *Runner) newRingPair(ch *channel, m *runnerMetrics) (*ringPair, error) {
 		}
 	}
 	ch.free = ch.free[:0]
+	// Top the free ring up to `slack` spare batches so the producer can
+	// actually run ahead without allocating: extra data-ring capacity is
+	// useless unless the circulating population can fill it. The top-up
+	// happens at most once per link lifetime — the spares drain back into
+	// the channel's recycle pool after the run and re-seed the ring on the
+	// next one, so repeated RunParallel calls do not grow the pool.
+	for rp.free.len() < slack {
+		if !rp.free.push(token.NewBatch(int(r.step))) {
+			break // unreachable: free cap depth+3+slack > slack
+		}
+	}
 	return rp, nil
 }
 
@@ -313,73 +391,34 @@ func pushWait(q *spscRing, b *token.Batch, abort *atomic.Bool) bool {
 	}
 }
 
-// runParallel is RunParallel plus a wall-time measurement covering only
-// the decoupled round loop: build, partitioning, ring construction and
-// the final drain all happen outside the clock, matching what run times
-// for the sequential scheduler.
-func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
-	if err := r.build(); err != nil {
-		return 0, err
-	}
-	if r.poisoned {
-		return 0, ErrPoisoned
-	}
-	if cycles <= 0 || cycles%r.step != 0 {
-		return 0, fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
-	}
-
-	parts := r.partition(r.Workers())
-	if len(parts) == 1 {
-		// One worker owns every endpoint, so there is nothing to
-		// synchronize: the worker-pool loop would be the sequential loop
-		// with extra indirection. Run the sequential scheduler itself —
-		// this is what makes RunParallel no slower than Run on a
-		// single-core host.
-		return r.run(cycles)
-	}
-
-	rounds := int(cycles / r.step)
-	n := int(r.step)
-	m := r.metrics
-
-	owner := make([]int, len(r.endpoints))
-	for w, eps := range parts {
-		for _, i := range eps {
-			owner[i] = w
-		}
-	}
-
-	// A channel's producer is the endpoint holding it in outCh, its
-	// consumer the one holding it in inCh; a link crosses workers when
-	// those two endpoints land in different bins.
-	consOf := make(map[*channel]int, 2*len(r.links))
-	for i := range r.endpoints {
-		for _, ch := range r.inCh[i] {
-			if ch != nil {
-				consOf[ch] = i
-			}
-		}
-	}
+// buildCrossRings replaces every channel whose producer and consumer land
+// on different workers with an SPSC ring pair. On error the already-built
+// rings are drained back so the runner state stays coherent
+// (checkpointable, sequentially runnable).
+func (r *Runner) buildCrossRings(owner []int) (map[*channel]*ringPair, error) {
+	consOf := r.chanConsumer()
 	rings := make(map[*channel]*ringPair, 2*len(r.links))
 	for i := range r.endpoints {
 		for _, ch := range r.outCh[i] {
 			if ch == nil || owner[i] == owner[consOf[ch]] {
 				continue
 			}
-			rp, err := r.newRingPair(ch, m)
+			rp, err := r.newRingPair(ch, r.metrics)
 			if err != nil {
-				// Put already-built rings back so the runner state stays
-				// coherent (checkpointable, sequentially runnable).
 				for _, built := range rings {
 					built.drain()
 				}
-				return 0, err
+				return nil, err
 			}
 			rings[ch] = rp
 		}
 	}
+	return rings, nil
+}
 
-	// Precompile each worker's schedule.
+// buildPlans precompiles each worker's schedule: one epPlan per endpoint,
+// port bindings resolved against the cross-worker rings.
+func (r *Runner) buildPlans(parts [][]int, rings map[*channel]*ringPair, n int) [][]*epPlan {
 	plans := make([][]*epPlan, len(parts))
 	for w, eps := range parts {
 		empty := token.NewBatch(n)
@@ -418,15 +457,108 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 			plans[w] = append(plans[w], pl)
 		}
 	}
+	return plans
+}
 
+// runParallel is RunParallel plus a wall-time measurement covering only
+// the decoupled round loop: build, partitioning, ring construction and
+// the final drain all happen outside the clock, matching what run times
+// for the sequential scheduler.
+func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
+	if err := r.build(); err != nil {
+		return 0, err
+	}
+	if r.poisoned {
+		return 0, ErrPoisoned
+	}
+	if cycles <= 0 || cycles%r.step != 0 {
+		return 0, fmt.Errorf("fame: cycles %d must be a positive multiple of step %d", cycles, r.step)
+	}
+
+	parts := r.partition(r.Workers())
+	r.effWorkers = len(parts)
+	if len(parts) == 1 {
+		// One worker owns every endpoint, so there is nothing to
+		// synchronize: the worker-pool loop would be the sequential loop
+		// with extra indirection. Run the sequential scheduler itself —
+		// this is what makes RunParallel no slower than Run on a
+		// single-core host. The sequential loop schedules each endpoint
+		// individually, so the unit count matches pool mode.
+		r.schedUnits = len(r.endpoints)
+		return r.run(cycles)
+	}
+
+	rounds := int(cycles / r.step)
+	n := int(r.step)
+	m := r.metrics
+
+	owner := make([]int, len(r.endpoints))
+	for w, eps := range parts {
+		for _, i := range eps {
+			owner[i] = w
+		}
+	}
+
+	rings, err := r.buildCrossRings(owner)
+	if err != nil {
+		return 0, err
+	}
+	plans := r.buildPlans(parts, rings, n)
+
+	var wall time.Duration
+	var panicErr *EndpointPanicError
+	if r.multiplexed {
+		r.schedUnits = len(parts)
+		wall, panicErr = r.muxLoop(buildMuxPlans(plans), owner[0], rounds, n, m)
+	} else {
+		r.schedUnits = len(r.endpoints)
+		wall, panicErr = r.poolLoop(plans, owner[0], rounds, n, m)
+	}
+
+	// Move ring state back into the persistent channel queues so a
+	// subsequent sequential Run or checkpoint Save continues seamlessly.
+	// Iterate in endpoint/port order (not map order) for a deterministic
+	// drain sequence.
+	for i := range r.endpoints {
+		for _, ch := range r.outCh[i] {
+			if ch == nil {
+				continue
+			}
+			if rp := rings[ch]; rp != nil {
+				rp.drain()
+			}
+		}
+	}
+	if panicErr != nil {
+		// Target time does not advance: the run was torn mid-round, so
+		// r.cycle still names the last coherent checkpointable boundary a
+		// caller could have saved. The drained channel populations are NOT
+		// coherent (workers unwound at arbitrary points), hence the poison
+		// until Restore rewinds them.
+		r.poisoned = true
+		return wall, panicErr
+	}
+	r.cycle += clock.Cycles(rounds) * r.step
+	if m != nil {
+		m.runWall.Add(uint64(wall.Nanoseconds()))
+		m.cycleGauge.Set(int64(r.cycle))
+	}
+	return wall, nil
+}
+
+// poolLoop runs the default per-endpoint scheduling mode: one goroutine
+// per worker, each iterating its endpoints' plans in global registration
+// order every round. Returns the round-loop wall time and the contained
+// panic, if any (the caller drains rings and poisons the runner).
+func (r *Runner) poolLoop(plans [][]*epPlan, hbWorker, rounds, n int, m *runnerMetrics) (time.Duration, *EndpointPanicError) {
 	base := r.cycle
 	start := time.Now()
 
 	// Panic containment (see panic.go): the first worker whose endpoint
 	// panics records the structured error and raises abort; every other
 	// worker notices on its next slow-path ring wait (or round boundary)
-	// and unwinds. The rings are drained below regardless, so the runner
-	// stays structurally coherent — just poisoned until a Restore.
+	// and unwinds. The rings are drained by the caller regardless, so the
+	// runner stays structurally coherent — just poisoned until a Restore.
 	var abort atomic.Bool
 	var panicMu sync.Mutex
 	var panicErr *EndpointPanicError
@@ -448,7 +580,7 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 					panicMu.Unlock()
 				}
 			}()
-			heartbeat := owner[0] == w
+			heartbeat := hbWorker == w
 			var hbRounds, accToks uint64
 			// Per-endpoint token counts batch locally (indexed like this
 			// worker's plans) and flush on sampled rounds and at run end,
@@ -548,9 +680,9 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 						switch bind := pl.in[p]; {
 						case bind.rp != nil:
 							if !bind.rp.free.push(in[p]) {
-								// Unreachable with the depth+3 sizing; the
-								// counter is a regression tripwire asserted
-								// zero by tests.
+								// Unreachable with the depth+3+slack sizing;
+								// the counter is a regression tripwire
+								// asserted zero by tests.
 								if m != nil {
 									m.poolDrops.Inc()
 								}
@@ -606,34 +738,5 @@ func (r *Runner) runParallel(cycles clock.Cycles) (time.Duration, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
-
-	// Move ring state back into the persistent channel queues so a
-	// subsequent sequential Run or checkpoint Save continues seamlessly.
-	// Iterate in endpoint/port order (not map order) for a deterministic
-	// drain sequence.
-	for i := range r.endpoints {
-		for _, ch := range r.outCh[i] {
-			if ch == nil {
-				continue
-			}
-			if rp := rings[ch]; rp != nil {
-				rp.drain()
-			}
-		}
-	}
-	if panicErr != nil {
-		// Target time does not advance: the run was torn mid-round, so
-		// r.cycle still names the last coherent checkpointable boundary a
-		// caller could have saved. The drained channel populations are NOT
-		// coherent (workers unwound at arbitrary points), hence the poison
-		// until Restore rewinds them.
-		r.poisoned = true
-		return wall, panicErr
-	}
-	r.cycle += clock.Cycles(rounds) * r.step
-	if m != nil {
-		m.runWall.Add(uint64(wall.Nanoseconds()))
-		m.cycleGauge.Set(int64(r.cycle))
-	}
-	return wall, nil
+	return wall, panicErr
 }

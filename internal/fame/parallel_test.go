@@ -169,12 +169,16 @@ func buildSweepTopology(t *testing.T, inject bool) (*Runner, *Sink, *Sink) {
 	return r, sinkA, sinkB
 }
 
-// TestWorkerSweepEquivalence is the tentpole determinism contract: for
+// testWorkerSweepEquivalence is the tentpole determinism contract: for
 // every worker count (including counts above the endpoint count), with and
 // without fault injection, RunParallel must deliver streams bit-identical
 // to the sequential scheduler. On a single-core host this still exercises
-// the multi-worker ring path — workers make progress via Gosched.
-func TestWorkerSweepEquivalence(t *testing.T) {
+// the multi-worker ring path — workers make progress via Gosched. The mux
+// flag runs the same contract through the many-nodes-per-worker mode
+// (TestMuxWorkerSweepEquivalence), which must be indistinguishable on
+// every observable except the scheduling-unit count, asserted here too.
+func testWorkerSweepEquivalence(t *testing.T, mux bool) {
+	const numEndpoints = 5 // buildSweepTopology registers five
 	for _, inject := range []bool{false, true} {
 		ref, refA, refB := buildSweepTopology(t, inject)
 		if err := ref.Run(240); err != nil {
@@ -188,6 +192,7 @@ func TestWorkerSweepEquivalence(t *testing.T) {
 			if err := r.SetWorkers(workers); err != nil {
 				t.Fatal(err)
 			}
+			r.SetMultiplexed(mux)
 			if err := r.RunParallel(240); err != nil {
 				t.Fatal(err)
 			}
@@ -197,16 +202,37 @@ func TestWorkerSweepEquivalence(t *testing.T) {
 			if !reflect.DeepEqual(refB.Received, sb.Received) {
 				t.Errorf("inject=%v workers=%d: sinkB diverged from sequential", inject, workers)
 			}
+			// Accounting: the effective worker count is what actually ran
+			// (capped at the endpoint count, empty bins dropped), and the
+			// scheduling-unit count is per-endpoint in pool mode but
+			// per-worker in multiplexed mode.
+			eff := r.EffectiveWorkers()
+			if eff < 1 || eff > workers || eff > numEndpoints {
+				t.Errorf("inject=%v workers=%d: EffectiveWorkers() = %d out of range [1, min(%d, %d)]",
+					inject, workers, eff, workers, numEndpoints)
+			}
+			wantUnits := numEndpoints
+			if mux && eff > 1 {
+				wantUnits = eff
+			}
+			if got := r.SchedUnits(); got != wantUnits {
+				t.Errorf("inject=%v workers=%d mux=%v: SchedUnits() = %d, want %d",
+					inject, workers, mux, got, wantUnits)
+			}
 		}
 	}
 }
 
-// TestCheckpointMidParallelWorkers is the keystone snapshot property under
+func TestWorkerSweepEquivalence(t *testing.T) { testWorkerSweepEquivalence(t, false) }
+
+// testCheckpointMidParallel is the keystone snapshot property under
 // the worker pool: checkpoint between RunParallel batches with forced
 // multi-worker scheduling, restore, re-run — state bytes must match the
 // uninterrupted run exactly. This is what requires runParallel to drain
-// its rings back into the persistent channel queues.
-func TestCheckpointMidParallelWorkers(t *testing.T) {
+// its rings back into the persistent channel queues. The mux flag holds
+// the multiplexed mode to the identical contract
+// (TestMuxCheckpointMidRun).
+func testCheckpointMidParallel(t *testing.T, mux bool) {
 	const n, m = 64, 128
 	save := func(r *Runner, a, z *pulse) []byte {
 		var buf bytes.Buffer
@@ -230,6 +256,7 @@ func TestCheckpointMidParallelWorkers(t *testing.T) {
 	if err := r1.SetWorkers(2); err != nil {
 		t.Fatal(err)
 	}
+	r1.SetMultiplexed(mux)
 	if err := r1.RunParallel(n); err != nil {
 		t.Fatal(err)
 	}
@@ -244,6 +271,7 @@ func TestCheckpointMidParallelWorkers(t *testing.T) {
 		if err := r2.SetWorkers(workers); err != nil {
 			t.Fatal(err)
 		}
+		r2.SetMultiplexed(mux)
 		rd, _, err := snapshot.NewReader(bytes.NewReader(ck))
 		if err != nil {
 			t.Fatal(err)
@@ -265,11 +293,15 @@ func TestCheckpointMidParallelWorkers(t *testing.T) {
 	}
 }
 
-// TestMultiWorkerMetricsEquivalence forces the cross-worker ring path and
-// holds it to the same fame_* contract the default path satisfies: exact
+func TestCheckpointMidParallelWorkers(t *testing.T) { testCheckpointMidParallel(t, false) }
+
+// testMultiWorkerMetrics forces the cross-worker ring path and holds it
+// to the same fame_* contract the default path satisfies: exact
 // round/cycle/token counters, one tick observation per sampled round per
 // endpoint, and zero pool drops (the counted-error seeding satellite).
-func TestMultiWorkerMetricsEquivalence(t *testing.T) {
+// With mux it holds the multiplexed mode's flattened accounting to the
+// same numbers (TestMuxMetricsEquivalence).
+func testMultiWorkerMetrics(t *testing.T, mux bool) {
 	const latency = clock.Cycles(8)
 	const cycles = clock.Cycles(8 * 50)
 
@@ -288,6 +320,7 @@ func TestMultiWorkerMetricsEquivalence(t *testing.T) {
 		if err := par.SetWorkers(workers); err != nil {
 			t.Fatal(err)
 		}
+		par.SetMultiplexed(mux)
 		if err := par.RunParallel(cycles); err != nil {
 			t.Fatal(err)
 		}
@@ -320,6 +353,8 @@ func TestMultiWorkerMetricsEquivalence(t *testing.T) {
 		}
 	}
 }
+
+func TestMultiWorkerMetricsEquivalence(t *testing.T) { testMultiWorkerMetrics(t, false) }
 
 // TestRandomTopologyWorkerEquivalence reuses the property-test generator
 // idea at a smaller scale: random stars, random worker counts, streams
@@ -372,6 +407,264 @@ func TestRandomTopologyWorkerEquivalence(t *testing.T) {
 			for i := range sinks {
 				if !reflect.DeepEqual(refSinks[i].Received, sinks[i].Received) {
 					t.Errorf("leaves=%d workers=%d sink %d diverged", leaves, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelKnobValidation covers the tuning-knob surface: negative
+// values are rejected, accepted values round-trip through the accessors,
+// and the multiplexed toggle reads back.
+func TestParallelKnobValidation(t *testing.T) {
+	r := NewRunner()
+	if err := r.SetRingSlack(-1); err == nil {
+		t.Error("SetRingSlack(-1) accepted")
+	}
+	if err := r.SetRingSlack(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.RingSlack(); got != 4 {
+		t.Errorf("RingSlack() = %d, want 4", got)
+	}
+	if err := r.SetBalanceSlackPct(-1); err == nil {
+		t.Error("SetBalanceSlackPct(-1) accepted")
+	}
+	if err := r.SetBalanceSlackPct(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.BalanceSlackPct(); got != 50 {
+		t.Errorf("BalanceSlackPct() = %d, want 50", got)
+	}
+	if r.Multiplexed() {
+		t.Error("Multiplexed() true by default")
+	}
+	r.SetMultiplexed(true)
+	if !r.Multiplexed() {
+		t.Error("SetMultiplexed(true) did not stick")
+	}
+}
+
+// TestPartitionEdgeCases pins the partitioner's behaviour at the corners
+// the sweep topologies never reach: an endpoint heavier than the balance
+// cap, more workers than endpoints, zero-port endpoints, and a chain that
+// saturates the cap. Each case asserts coverage (every endpoint exactly
+// once), the balance bound, and determinism.
+func TestPartitionEdgeCases(t *testing.T) {
+	cover := func(t *testing.T, r *Runner, parts [][]int, workers int) map[int]int {
+		t.Helper()
+		if len(parts) > workers {
+			t.Fatalf("%d parts for %d workers", len(parts), workers)
+		}
+		if again := r.partition(workers); !reflect.DeepEqual(parts, again) {
+			t.Fatalf("partition not deterministic:\n%v\n%v", parts, again)
+		}
+		owner := make(map[int]int)
+		for w, part := range parts {
+			if len(part) == 0 {
+				t.Fatalf("empty part in %v", parts)
+			}
+			for _, idx := range part {
+				if _, dup := owner[idx]; dup {
+					t.Fatalf("endpoint %d in two parts: %v", idx, parts)
+				}
+				owner[idx] = w
+			}
+		}
+		if len(owner) != len(r.endpoints) {
+			t.Fatalf("partition covers %d of %d endpoints: %v", len(owner), len(r.endpoints), parts)
+		}
+		return owner
+	}
+
+	t.Run("heavy endpoint exceeds cap", func(t *testing.T) {
+		// Hub weight 16 > cap ceil(32/4)=8: it cannot merge or share, so
+		// it must sit alone while the leaves level the remaining bins.
+		r := starRunner(t, 16)
+		if err := r.build(); err != nil {
+			t.Fatal(err)
+		}
+		parts := r.partition(4)
+		owner := cover(t, r, parts, 4)
+		hubPart := parts[owner[0]]
+		if len(hubPart) != 1 {
+			t.Errorf("over-cap hub shares a part: %v", hubPart)
+		}
+		for w, part := range parts {
+			if w == owner[0] {
+				continue
+			}
+			if len(part) > 8 { // leaf weight 1 each; cap is 8
+				t.Errorf("leaf part %d weight %d exceeds cap 8", w, len(part))
+			}
+		}
+	})
+
+	t.Run("workers exceed endpoints", func(t *testing.T) {
+		r, _, _ := buildSweepTopology(t, false)
+		if err := r.build(); err != nil {
+			t.Fatal(err)
+		}
+		parts := r.partition(12)
+		cover(t, r, parts, 12)
+		if len(parts) > 5 {
+			t.Errorf("%d parts for 5 endpoints", len(parts))
+		}
+	})
+
+	t.Run("zero-port endpoints", func(t *testing.T) {
+		// Zero-port endpoints weigh 1 (cost floor), partition cleanly,
+		// and run without port bindings in both scheduler modes.
+		r := NewRunner()
+		a := NewSource("a")
+		z := NewSink("z")
+		idle1 := &hub{name: "idle1", ports: 0}
+		idle2 := &hub{name: "idle2", ports: 0}
+		for _, e := range []Endpoint{a, idle1, z, idle2} {
+			r.Add(e)
+		}
+		if err := r.Connect(a, 0, z, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		a.EmitAt(0, token.Token{Data: 9, Valid: true})
+		if err := r.build(); err != nil {
+			t.Fatal(err)
+		}
+		cover(t, r, r.partition(3), 3)
+		for _, mux := range []bool{false, true} {
+			if err := r.SetWorkers(3); err != nil {
+				t.Fatal(err)
+			}
+			r.SetMultiplexed(mux)
+			if err := r.RunParallel(16); err != nil {
+				t.Fatalf("mux=%v: %v", mux, err)
+			}
+		}
+		if len(z.Received) != 1 {
+			t.Errorf("sink received %d tokens, want 1", len(z.Received))
+		}
+	})
+
+	t.Run("balance cap saturation", func(t *testing.T) {
+		// A six-endpoint chain (two ports each, weight 2, cap 4): pairwise
+		// merges land exactly on the cap, every further merge is refused,
+		// and packing degenerates to one pair per worker — the fully
+		// saturated fixed point.
+		r := NewRunner()
+		var eps []*hub
+		for i := 0; i < 6; i++ {
+			e := &hub{name: "c" + string(rune('0'+i)), ports: 2}
+			eps = append(eps, e)
+			r.Add(e)
+		}
+		for i := 0; i < 5; i++ {
+			if err := r.Connect(eps[i], 1, eps[i+1], 0, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.build(); err != nil {
+			t.Fatal(err)
+		}
+		parts := r.partition(3)
+		cover(t, r, parts, 3)
+		if want := [][]int{{0, 1}, {2, 3}, {4, 5}}; !reflect.DeepEqual(parts, want) {
+			t.Errorf("saturated chain packed %v, want %v", parts, want)
+		}
+	})
+}
+
+// TestPartitionPackingTieBreak is the packing-determinism golden: six
+// equal-weight isolated endpoints onto three workers must round-robin by
+// ascending index (the PackUnits tie-break the partitioner inherits), not
+// land in whatever order a map iteration produced.
+func TestPartitionPackingTieBreak(t *testing.T) {
+	// partition is a pure function of endpoints and links; no build()
+	// needed (a link-free topology would not build anyway).
+	r := NewRunner()
+	for i := 0; i < 6; i++ {
+		r.Add(&hub{name: "i" + string(rune('0'+i)), ports: 1})
+	}
+	parts := r.partition(3)
+	if want := [][]int{{0, 3}, {1, 4}, {2, 5}}; !reflect.DeepEqual(parts, want) {
+		t.Errorf("tie-break packed %v, want %v", parts, want)
+	}
+}
+
+// TestPartitionBalanceSlackCoLocates shows the balance-slack knob doing
+// its one job: a linked pair whose merge the strict cap refuses co-locates
+// once the cap is loosened, and the partition stays deterministic at every
+// setting.
+func TestPartitionBalanceSlackCoLocates(t *testing.T) {
+	build := func() *Runner {
+		r := NewRunner()
+		a := &hub{name: "a", ports: 2}
+		b := &hub{name: "b", ports: 2}
+		c := &hub{name: "c", ports: 1}
+		d := &hub{name: "d", ports: 1}
+		for _, e := range []*hub{a, b, c, d} {
+			r.Add(e)
+		}
+		if err := r.Connect(a, 0, b, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ownerOf := func(r *Runner, slackPct int) (int, int) {
+		if err := r.SetBalanceSlackPct(slackPct); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.build(); err != nil {
+			t.Fatal(err)
+		}
+		parts := r.partition(2)
+		owner := make(map[int]int)
+		for w, part := range parts {
+			for _, idx := range part {
+				owner[idx] = w
+			}
+		}
+		return owner[0], owner[1]
+	}
+	// total weight 6, 2 workers, cap 3: the a—b merge (weight 4) is
+	// refused and worst-fit packing seeds a and b into different bins.
+	if oa, ob := ownerOf(build(), 0); oa == ob {
+		t.Errorf("strict cap: a and b co-located (slack should be required)")
+	}
+	// 50%% slack: cap 4, the merge fits, the pair shares a worker.
+	if oa, ob := ownerOf(build(), 50); oa != ob {
+		t.Errorf("50%% slack: linked pair a—b still split")
+	}
+}
+
+// TestRingSlackEquivalence sweeps the tuning knobs across both scheduler
+// modes: whatever slack the rings carry and however loose the balance
+// cap, the streams must stay bit-identical to the sequential scheduler —
+// the knobs are host-side only.
+func TestRingSlackEquivalence(t *testing.T) {
+	ref, refA, refB := buildSweepTopology(t, true)
+	if err := ref.Run(240); err != nil {
+		t.Fatal(err)
+	}
+	for _, mux := range []bool{false, true} {
+		for _, ringSlack := range []int{1, 4} {
+			for _, balancePct := range []int{0, 100} {
+				r, sa, sb := buildSweepTopology(t, true)
+				if err := r.SetWorkers(3); err != nil {
+					t.Fatal(err)
+				}
+				r.SetMultiplexed(mux)
+				if err := r.SetRingSlack(ringSlack); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.SetBalanceSlackPct(balancePct); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.RunParallel(240); err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(refA.Received, sa.Received) || !reflect.DeepEqual(refB.Received, sb.Received) {
+					t.Errorf("mux=%v ringSlack=%d balancePct=%d: streams diverged from sequential",
+						mux, ringSlack, balancePct)
 				}
 			}
 		}

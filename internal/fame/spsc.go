@@ -1,6 +1,7 @@
 package fame
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/token"
@@ -50,8 +51,16 @@ type spscRing struct {
 }
 
 // newSPSCRing returns a ring with capacity of at least minCap batches
-// (rounded up to a power of two).
+// (rounded up to a power of two). minCap must be positive: a non-positive
+// request used to fall through the rounding loop and silently return a
+// capacity-1 ring, which would violate the link sizing invariant
+// (data ≥ depth+1, free ≥ depth+3 — see newRingPair) without any signal.
+// The panic makes a sizing bug loud at construction instead of surfacing
+// as a deadlock or a dropped-batch tripwire mid-run.
 func newSPSCRing(minCap int) *spscRing {
+	if minCap <= 0 {
+		panic(fmt.Sprintf("fame: spsc ring capacity must be positive, got %d", minCap))
+	}
 	size := 1
 	for size < minCap {
 		size <<= 1

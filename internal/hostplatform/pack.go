@@ -3,12 +3,19 @@ package hostplatform
 import "sort"
 
 // PackUnits assigns partition units to host processes by weight
-// (typically server count per unit) using first-fit-decreasing onto the
-// least-loaded process — the same bin-packing instinct as the FPGA
-// mapping, applied to the elastic reshard path: when a distributed run
-// loses a process and cannot replace it, the dead process's units are
-// re-packed onto the survivors so the cluster keeps its balance instead
-// of piling everything onto one host.
+// (typically server count per unit) using worst-fit decreasing: units in
+// descending weight order, each onto the least-loaded process. (This is
+// the LPT balancing heuristic, NOT first-fit-decreasing — FFD fills the
+// first bin that fits to minimise bin count, which is the wrong objective
+// when the bin set is fixed and the goal is keeping loads level.) It is
+// the same bin-packing instinct as the FPGA mapping, applied both to the
+// elastic reshard path — when a distributed run loses a process and
+// cannot replace it, the dead process's units are re-packed onto the
+// survivors so the cluster keeps its balance instead of piling everything
+// onto one host — and to the in-process parallel scheduler, whose
+// partitioner packs merged link groups onto workers through this same
+// function (internal/fame/parallel.go), so worker assignment and process
+// assignment balance identically.
 //
 // The assignment is deterministic: units are ordered by descending
 // weight (ties by ascending unit index) and each goes to the process

@@ -54,3 +54,19 @@ func TestPackUnitsDegenerate(t *testing.T) {
 		t.Fatalf("single-proc fallback: %v", got)
 	}
 }
+
+// TestPackUnitsWorstFitTieBreak is the tie-breaking golden: equal-weight
+// units must round-robin by ascending index onto the least-loaded
+// (lowest-index) process. This is worst-fit decreasing — FFD would pour
+// units 2..5 into proc 0 until it "filled"; worst-fit alternates. The
+// fame partitioner inherits exactly this order, so the golden here locks
+// worker assignment determinism too.
+func TestPackUnitsWorstFitTieBreak(t *testing.T) {
+	got := PackUnits([]int{3, 3, 1, 1, 1, 1}, 2)
+	// Order: 0, 1 (weight 3, ascending index), then 2..5 (weight 1).
+	// 0→p0 (3), 1→p1 (3), 2→p0 on the load tie (4), 3→p1 (4), 4→p0, 5→p1.
+	want := [][]int{{0, 2, 4}, {1, 3, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PackUnits tie-break = %v, want %v", got, want)
+	}
+}

@@ -15,7 +15,15 @@
 #
 # Every invocation also appends a timestamped digest line to
 # BENCH_history.jsonl, so the perf trajectory is tracked across PRs.
+#
+# The default invocation includes the multi-core worker sweep (workers
+# 1/2/4/8 at 8-64 nodes, speedup vs the 1-worker baseline per cell).
+# Flags are last-wins, so pass -worker-sweep "" to skip it, or override
+# any of the sweep parameters:
+#
+#   scripts/bench.sh -worker-sweep 1,2 -sweep-nodes 8,16 -multiplexed
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-go run ./cmd/firesim bench -out BENCH_fame.json -history BENCH_history.jsonl "$@"
+go run ./cmd/firesim bench -out BENCH_fame.json -history BENCH_history.jsonl \
+    -worker-sweep 1,2,4,8 -sweep-nodes 8,16,32,64 "$@"

@@ -93,6 +93,43 @@ awk -v s="$SPEEDUP" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s >= min) }' || {
     exit 1
 }
 
+echo "== multi-core scaling gate (worker sweep) =="
+# Core-count-aware gate on the worker sweep, evaluated inside the bench
+# binary against effective (not requested) worker counts. A host with
+# cores to spare must show real scaling: >=1.6x at 2 workers, >=2.5x at 4.
+# A single-core host cannot express parallel speedup at all, so the gate
+# there only requires the forced 2-worker run to hold near parity with
+# the 1-worker baseline (>=0.8x), rejecting a regression to the
+# channel-per-port era without pretending the host can scale. Retried like
+# the overhead gate: a real regression fails every attempt.
+if [ "$CORES" -ge 4 ]; then
+    SWEEP_COUNTS="1,2,4"; SWEEP_GATE="2:1.6,4:2.5"
+elif [ "$CORES" -ge 2 ]; then
+    SWEEP_COUNTS="1,2"; SWEEP_GATE="2:1.6"
+else
+    SWEEP_COUNTS="1,2"; SWEEP_GATE="2:0.8"
+fi
+SWEEP_OK=0
+for attempt in 1 2 3; do
+    if go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 3 -node-nodes 0 \
+        -worker-sweep "$SWEEP_COUNTS" -sweep-nodes 8,16 -sweep-rounds 512 \
+        -sweep-min-speedup "$SWEEP_GATE" -out "$(mktemp)" >/dev/null; then
+        SWEEP_OK=1
+        break
+    fi
+    echo "   attempt $attempt missed the scaling gate ($SWEEP_GATE), retrying"
+done
+[ "$SWEEP_OK" = 1 ] || { echo "FAIL: worker-sweep scaling gate $SWEEP_GATE on $CORES core(s) after 3 attempts" >&2; exit 1; }
+
+echo "== multiplexed-mode equivalence smoke (-race) =="
+# The many-nodes-per-worker scheduling mode must stay bit-identical to the
+# sequential scheduler under the race detector: stream equivalence across
+# worker counts (with fault injection), mid-run checkpoint restore across
+# modes, metrics parity, and panic containment inside a fused unit.
+go test -race -count=1 \
+    -run 'TestMuxWorkerSweepEquivalence|TestMuxCheckpointMidRun|TestMuxMetricsEquivalence|TestMuxPanicContainment|TestMuxCrossModeRestore' \
+    ./internal/fame >/dev/null
+
 echo "== checkpoint determinism smoke =="
 # Run, checkpoint, run on, restore, re-run: final state must be
 # bit-identical, under both runners. Exits non-zero on divergence.
