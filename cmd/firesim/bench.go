@@ -108,6 +108,9 @@ type benchFile struct {
 	// cell from -worker-sweep × -sweep-nodes, with per-cell effective
 	// worker counts and speedup-vs-1-worker.
 	WorkerSweep []sweepPoint `json:"worker_sweep,omitempty"`
+	// ScaleCurve is the sim-rate-vs-scale pass (the paper's Fig. 9 shape):
+	// one sequential measurement per -scale-nodes size; see scalebench.go.
+	ScaleCurve []scalePoint `json:"scale_curve,omitempty"`
 	// NodeResults covers the per-node compute loop (SoC blades running
 	// machine code) with the fast paths on vs off; see nodebench.go.
 	NodeResults []nodeBenchResult `json:"node_results,omitempty"`
@@ -140,6 +143,8 @@ type benchHistoryEntry struct {
 	SweepHz      map[string]float64 `json:"sweep_hz,omitempty"`
 	SweepSpeedup map[string]float64 `json:"sweep_speedup,omitempty"`
 	SweepEffW    map[string]int     `json:"sweep_effective_workers,omitempty"`
+	// Scale-curve digests, keyed by node count: the Fig. 9 trajectory.
+	ScaleHz map[string]float64 `json:"scale_hz,omitempty"`
 }
 
 func cmdBench(args []string) error {
@@ -156,6 +161,10 @@ func cmdBench(args []string) error {
 	sweepNodes := fs.String("sweep-nodes", "8,16,32,64", "comma-separated rack sizes for the worker sweep")
 	sweepRounds := fs.Int("sweep-rounds", 0, "link-latency rounds per sweep measurement (0 = -rounds)")
 	sweepMinSpeedup := fs.String("sweep-min-speedup", "", "scaling gate, e.g. \"2:1.6,4:2.5\": fail unless the sweep's best speedup at W effective workers reaches the bound")
+	scaleNodes := fs.String("scale-nodes", "", "comma-separated node counts for the sim-rate-vs-scale pass, e.g. '8,64,256' (empty disables it; 64/256/1024 run as the paper's tree shapes)")
+	scaleRounds := fs.Int("scale-rounds", 0, "link-latency rounds per scale measurement (0 = -rounds)")
+	scaleReps := fs.Int("scale-reps", 3, "repetitions per scale point (best wall time wins)")
+	scaleMinFrac := fs.Float64("scale-min-frac", 0, "Fig. 9 shape gate: fail unless the largest size's sim rate is at least this fraction of the second largest's (0 disables)")
 	nodeNodes := fs.Int("node-nodes", 4, "blade count for the per-node compute-loop bench (0 disables it)")
 	nodeRounds := fs.Int("node-rounds", 512, "link-latency rounds per node-bench measurement")
 	idleMinSpeedup := fs.Float64("idle-min-speedup", 0, "fail unless the idle workload's fast-path speedup reaches this (0 disables the gate)")
@@ -234,6 +243,31 @@ func cmdBench(args []string) error {
 		}
 	}
 
+	scaleTable := stats.NewTable("Nodes", "Topology", "Switches", "SimHz", "Slowdown")
+	if *scaleNodes != "" {
+		scSizes, err := parseFanouts(*scaleNodes)
+		if err != nil {
+			return fmt.Errorf("bench: -scale-nodes: %w", err)
+		}
+		scRounds := *scaleRounds
+		if scRounds <= 0 {
+			scRounds = *rounds
+		}
+		points, err := benchScalePass(scSizes, scRounds, *scaleReps, clk.CyclesInMicros(*latencyUs))
+		if err != nil {
+			return err
+		}
+		doc.ScaleCurve = points
+		for _, p := range points {
+			topoStr := make([]string, len(p.Fanouts))
+			for i, f := range p.Fanouts {
+				topoStr[i] = fmt.Sprintf("%d", f)
+			}
+			scaleTable.AddRow(p.Nodes, strings.Join(topoStr, "x"), p.Switches,
+				clock.Hz(p.SimHz), fmt.Sprintf("%.0fx", p.Slowdown))
+		}
+	}
+
 	nodeTable := stats.NewTable("Workload", "Fast", "Slow", "Speedup", "SB speedup", "MIPS fast/slow", "Skipped")
 	if *nodeNodes > 0 {
 		nodeResults, err := benchNodePass(*nodeNodes, *nodeRounds, *reps, clk.CyclesInMicros(*latencyUs))
@@ -278,6 +312,10 @@ func cmdBench(args []string) error {
 		}
 		fmt.Printf("multi-core worker sweep (%s mode, GOMAXPROCS=%d):\n", mode, doc.GOMAXPROCS)
 		fmt.Print(sweepTable.String())
+	}
+	if len(doc.ScaleCurve) > 0 {
+		fmt.Printf("sim-rate vs scale (Fig. 9 curve, sequential scheduler, %d reps):\n", *scaleReps)
+		fmt.Print(scaleTable.String())
 	}
 	if len(doc.NodeResults) > 0 {
 		fmt.Printf("per-node compute loop, %d blades x %d rounds, fast paths on vs off:\n",
@@ -327,6 +365,11 @@ func cmdBench(args []string) error {
 	}
 	if *sweepMinSpeedup != "" {
 		if err := checkSweepGate(doc.WorkerSweep, *sweepMinSpeedup); err != nil {
+			return err
+		}
+	}
+	if *scaleMinFrac > 0 {
+		if err := checkScaleGate(doc.ScaleCurve, *scaleMinFrac); err != nil {
 			return err
 		}
 	}
@@ -388,6 +431,12 @@ func appendBenchHistory(path string, doc *benchFile) error {
 			e.SweepHz[key] = p.SimHz
 			e.SweepSpeedup[key] = p.SpeedupVs1W
 			e.SweepEffW[key] = p.EffectiveWorkers
+		}
+	}
+	if len(doc.ScaleCurve) > 0 {
+		e.ScaleHz = map[string]float64{}
+		for _, p := range doc.ScaleCurve {
+			e.ScaleHz[fmt.Sprintf("%d", p.Nodes)] = p.SimHz
 		}
 	}
 	if len(doc.NodeResults) > 0 {

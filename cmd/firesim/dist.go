@@ -41,7 +41,9 @@ func cmdShard(args []string) error {
 
 func cmdRunDist(args []string) error {
 	fs := flag.NewFlagSet("run-dist", flag.ExitOnError)
-	nodes := fs.Int("nodes", 8, "servers on the rack (one partition unit each)")
+	nodes := fs.Int("nodes", 8, "servers on the rack (one partition unit each; ignored with -tree)")
+	tree := fs.String("tree", "", "uniform tree fanouts, e.g. '4,8,8' for 256 nodes (overrides -nodes)")
+	cutLevel := fs.Int("cut-level", 1, "tree depth to cut partition units at (with -tree; 1 = root downlinks)")
 	procs := fs.Int("procs", 3, "shard worker processes")
 	horizon := fs.Uint64("horizon", 16384, "target cycle to run to (multiple of -link)")
 	ckptEvery := fs.Uint64("ckpt-every", 2048, "coordinated checkpoint interval in cycles (multiple of -link)")
@@ -59,7 +61,23 @@ func cmdRunDist(args []string) error {
 		return err
 	}
 
-	spec, err := manager.RackSpec(*nodes, manager.DeployConfig{LinkLatency: clock.Cycles(*link), Seed: *seed})
+	dcfg := manager.DeployConfig{LinkLatency: clock.Cycles(*link), Seed: *seed}
+	var spec manager.ClusterSpec
+	var err error
+	if *tree != "" {
+		fanouts, ferr := parseFanouts(*tree)
+		if ferr != nil {
+			return ferr
+		}
+		spec, err = manager.TreeSpec(fanouts, manager.SingleCore, dcfg, *cutLevel)
+		total := 1
+		for _, f := range fanouts {
+			total *= f
+		}
+		*nodes = total
+	} else {
+		spec, err = manager.RackSpec(*nodes, dcfg)
+	}
 	if err != nil {
 		return err
 	}

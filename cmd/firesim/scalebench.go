@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// The scale pass reproduces the shape of the paper's Figure 9: absolute
+// simulation rate as the target cluster grows from a single rack to the
+// aggregation- and root-switch tiers. Sizes map onto the paper's tree
+// shapes (64 = 8x8 over one aggregation tier, 256 = 4x8x8, 1024 = 4x8x32
+// — the full datacenter topology); anything else runs as a flat rack.
+// Only the sequential scheduler is measured: the curve wants the
+// per-cycle datapath cost, not host-side parallel speedup, and the gate
+// compares the largest two points' rates against -scale-min-frac.
+
+// scalePoint is one Fig. 9 measurement: the best-of-reps sim rate of a
+// ping-loaded uniform tree at one node count.
+type scalePoint struct {
+	Nodes     int     `json:"nodes"`
+	Fanouts   []int   `json:"fanouts"`
+	Switches  int     `json:"switches"`
+	Cycles    uint64  `json:"cycles"`
+	WallNanos int64   `json:"wall_ns"`
+	SimHz     float64 `json:"sim_hz"`
+	Slowdown  float64 `json:"slowdown"`
+}
+
+// scaleFanouts maps a node count onto its benchmark topology shape.
+func scaleFanouts(nodes int) []int {
+	switch nodes {
+	case 64:
+		return []int{8, 8}
+	case 256:
+		return []int{4, 8, 8}
+	case 1024:
+		return []int{4, 8, 32}
+	default:
+		return []int{nodes}
+	}
+}
+
+// benchScalePass measures the sim-rate-vs-scale curve: one ping-loaded
+// deployment per size, one unbilled warm-up region, then best-of-reps.
+func benchScalePass(sizes []int, rounds, reps int, linkLatency clock.Cycles) ([]scalePoint, error) {
+	var points []scalePoint
+	for _, nodes := range sizes {
+		fanouts := scaleFanouts(nodes)
+		var topo *core.Topology
+		if len(fanouts) == 1 {
+			topo = core.Rack("tor0", nodes, core.QuadCore)
+		} else {
+			var err error
+			topo, err = core.Tree(fanouts, core.QuadCore)
+			if err != nil {
+				return nil, fmt.Errorf("scale %d nodes: %w", nodes, err)
+			}
+		}
+		c, err := core.Deploy(topo, core.DeployConfig{LinkLatency: linkLatency})
+		if err != nil {
+			return nil, fmt.Errorf("scale %d nodes: %w", nodes, err)
+		}
+		step := c.Runner.Step()
+		region := clock.Cycles(rounds) * step
+		// Enough pings to keep every region loaded (reps + 1 warm-up).
+		interval := 4 * step
+		count := int((clock.Cycles(reps+1)*region+4*step)/interval) + 1
+		for i, src := range c.Servers {
+			dst := c.Servers[(i+1)%len(c.Servers)]
+			src.Ping(0, dst.IP(), count, interval, nil)
+		}
+		runtime.GC()
+		if _, err := c.Runner.Measure(region, clock.DefaultTargetClock, false); err != nil {
+			return nil, fmt.Errorf("scale %d nodes warm-up: %w", nodes, err)
+		}
+		best := time.Duration(-1)
+		for r := 0; r < reps; r++ {
+			runtime.GC()
+			rate, err := c.Runner.Measure(region, clock.DefaultTargetClock, false)
+			if err != nil {
+				return nil, fmt.Errorf("scale %d nodes: %w", nodes, err)
+			}
+			if best < 0 || rate.Wall < best {
+				best = rate.Wall
+			}
+		}
+		v := toVariant(region, best)
+		points = append(points, scalePoint{
+			Nodes:     nodes,
+			Fanouts:   fanouts,
+			Switches:  len(c.Switches),
+			Cycles:    uint64(region),
+			WallNanos: v.WallNanos,
+			SimHz:     v.SimHz,
+			Slowdown:  v.Slowdown,
+		})
+	}
+	return points, nil
+}
+
+// checkScaleGate enforces the Fig. 9 shape bound: the largest size's sim
+// rate must be at least minFrac of the second largest's. A switch
+// datapath that degrades super-linearly with scale (per-round allocation,
+// queue-scan regressions) collapses the tail of the curve and trips this
+// before it reaches absurd sizes.
+func checkScaleGate(points []scalePoint, minFrac float64) error {
+	if len(points) < 2 {
+		return fmt.Errorf("bench: -scale-min-frac set but the scale pass measured %d size(s), need at least 2", len(points))
+	}
+	largest, second := points[0], points[0]
+	for _, p := range points[1:] {
+		switch {
+		case p.Nodes > largest.Nodes:
+			second, largest = largest, p
+		case p.Nodes > second.Nodes || second.Nodes == largest.Nodes:
+			second = p
+		}
+	}
+	if second.SimHz <= 0 {
+		return fmt.Errorf("bench: scale gate: %d-node rate is zero", second.Nodes)
+	}
+	frac := largest.SimHz / second.SimHz
+	if frac < minFrac {
+		return fmt.Errorf("bench: scale curve: %d-node rate is %.2f of the %d-node rate, below the %.2f gate",
+			largest.Nodes, frac, second.Nodes, minFrac)
+	}
+	return nil
+}

@@ -268,7 +268,7 @@ func RunDistributed(cfg CoordinatorConfig) (*DistReport, error) {
 	if cfg.MaxRecoveries <= 0 {
 		cfg.MaxRecoveries = 3
 	}
-	units := len(root.Downlinks)
+	units := len(CutUnits(root, cfg.Spec.CutLevel))
 	if units == 0 {
 		return nil, fmt.Errorf("manager: distributed: topology root has no downlinks")
 	}
@@ -292,7 +292,7 @@ func RunDistributed(cfg CoordinatorConfig) (*DistReport, error) {
 	for _, ev := range cfg.Chaos {
 		c.chaos = append(c.chaos, &chaosState{ev: ev})
 	}
-	c.weights = unitWeights(root)
+	c.weights = unitWeights(root, cfg.Spec.CutLevel)
 	c.unitStores = make(map[int]*snapshot.Store, units)
 	for i := 0; i < units; i++ {
 		st, err := snapshot.NewStore(filepath.Join(cfg.BaseDir, "units", UnitName(i)), cfg.Retain)
@@ -348,11 +348,12 @@ func RunDistributed(cfg CoordinatorConfig) (*DistReport, error) {
 	}
 }
 
-// unitWeights counts the servers under each root downlink — the packing
-// weight of each partition unit.
-func unitWeights(root *SwitchNode) []int {
-	w := make([]int, len(root.Downlinks))
-	for i, d := range root.Downlinks {
+// unitWeights counts the servers under each partition unit at the given
+// cut level — the packing weight of each unit.
+func unitWeights(root *SwitchNode, cutLevel int) []int {
+	cuts := CutUnits(root, cutLevel)
+	w := make([]int, len(cuts))
+	for i, d := range cuts {
 		switch v := d.(type) {
 		case *ServerNode:
 			w[i] = 1

@@ -1,7 +1,11 @@
 // Partitioned deployment for multi-process runs. The full cluster is cut
-// at the root switch: each root downlink subtree is a partition UNIT, a
-// shard process hosts one or more units, and the coordinator hosts only
-// the root switch. Every cut link of latency L is split into two
+// at a configurable tree level (ClusterSpec.CutLevel): every link from a
+// switch above the cut to a subtree below it is severed, each severed
+// subtree is a partition UNIT, a shard process hosts one or more units,
+// and the coordinator hosts every switch above the cut (just the root
+// switch at the default level 1; root plus aggregation switches at level
+// 2, which shards the paper's 1024-node tree into 32 ToR units regardless
+// of the root's radix). Every cut link of latency L is split into two
 // half-links of L/2 — one in each process — joined by a transport.Bridge
 // pair whose synchronous batch exchange contributes zero target latency,
 // so the end-to-end latency every token observes is exactly L and the
@@ -32,8 +36,36 @@ import (
 )
 
 // RootUnit is the pseudo-unit id of the coordinator's root partition in
-// store/checkpoint APIs (real units are root downlink indices >= 0).
+// store/checkpoint APIs (real units are cut indices >= 0, in CutUnits
+// order).
 const RootUnit = -1
+
+// CutUnits enumerates the subtree roots of every partition unit a cut at
+// cutLevel produces, in deterministic pre-order. The cut severs every
+// link from a depth cutLevel-1 switch down to its subtrees; a server
+// hanging above the cut level becomes its own single-node unit, so the
+// coordinator's partition always contains only switches. cutLevel <= 1
+// reproduces the historical root-downlink units (one unit per root
+// downlink, numbered by port).
+func CutUnits(root *SwitchNode, cutLevel int) []TopoNode {
+	if cutLevel < 1 {
+		cutLevel = 1
+	}
+	var units []TopoNode
+	var walk func(s *SwitchNode, depth int)
+	walk = func(s *SwitchNode, depth int) {
+		for _, d := range s.Downlinks {
+			sub, isSwitch := d.(*SwitchNode)
+			if !isSwitch || depth+1 >= cutLevel {
+				units = append(units, d)
+				continue
+			}
+			walk(sub, depth+1)
+		}
+	}
+	walk(root, 0)
+	return units
+}
 
 // UnitName names a partition unit for bridges, stores and diagnostics.
 func UnitName(unit int) string {
@@ -105,38 +137,80 @@ func BuildPartition(spec ClusterSpec, units []int, bridgeTimeout time.Duration) 
 		})
 	}
 
+	cuts := CutUnits(root, spec.CutLevel)
+	cutLevel := spec.CutLevel
+	if cutLevel < 1 {
+		cutLevel = 1
+	}
+
 	if p.IsRoot {
-		// Root partition: the root switch with one half-link bridge per
-		// downlink. Uplink -1: the root's MAC table maps every server to
-		// its downlink port.
-		sw := switchmodel.New(switchmodel.Config{
-			Name:             root.Name,
-			Ports:            len(root.Downlinks),
-			SwitchingLatency: cfg.SwitchingLatency,
-		})
-		setMACTable(sw, root, ids, -1)
-		p.Runner.Add(sw)
-		p.Switches = append(p.Switches, sw)
-		swSection := "switch/" + sw.Name()
-		p.comps[swSection] = sw
-		members := map[string]bool{sw.Name(): true}
-		for i := range root.Downlinks {
-			br := newBridge("down/" + UnitName(i))
-			p.Runner.Add(br)
-			if err := p.Runner.Connect(br, 0, sw, i, half); err != nil {
-				return nil, err
+		// Root partition: every switch above the cut, joined by
+		// full-latency internal links, with one half-link bridge per cut
+		// point. Uplink -1 at the root (its MAC table maps every server
+		// to a downlink port); retained inner switches keep their uplink
+		// port toward their parent exactly as a whole-cluster Deploy
+		// wires them, so checkpoint sections stay interchangeable.
+		members := make(map[string]bool)
+		var sections []string
+		nextCut := 0
+		var buildAbove func(s *SwitchNode, depth int) (*switchmodel.Switch, int, error)
+		buildAbove = func(s *SwitchNode, depth int) (*switchmodel.Switch, int, error) {
+			uplink := -1
+			ports := len(s.Downlinks)
+			if depth > 0 {
+				uplink = len(s.Downlinks)
+				ports++
 			}
-			p.Bridges[i] = br
-			p.Units = append(p.Units, i)
-			members[br.Name()] = true
+			sw := switchmodel.New(switchmodel.Config{
+				Name:             s.Name,
+				Ports:            ports,
+				SwitchingLatency: cfg.SwitchingLatency,
+			})
+			setMACTable(sw, s, ids, uplink)
+			p.Runner.Add(sw)
+			p.Switches = append(p.Switches, sw)
+			sec := "switch/" + sw.Name()
+			p.comps[sec] = sw
+			sections = append(sections, sec)
+			members[sw.Name()] = true
+			for i, d := range s.Downlinks {
+				child, isSwitch := d.(*SwitchNode)
+				if !isSwitch || depth+1 >= cutLevel {
+					// Cut point: this subtree is a shard-hosted unit.
+					// Enumeration order matches CutUnits (same DFS).
+					unit := nextCut
+					nextCut++
+					br := newBridge("down/" + UnitName(unit))
+					p.Runner.Add(br)
+					if err := p.Runner.Connect(br, 0, sw, i, half); err != nil {
+						return nil, 0, err
+					}
+					p.Bridges[unit] = br
+					p.Units = append(p.Units, unit)
+					members[br.Name()] = true
+					continue
+				}
+				cs, cup, err := buildAbove(child, depth+1)
+				if err != nil {
+					return nil, 0, err
+				}
+				if err := p.Runner.Connect(cs, cup, sw, i, cfg.LinkLatency); err != nil {
+					return nil, 0, err
+				}
+			}
+			return sw, uplink, nil
 		}
-		p.unitComps[RootUnit] = []string{swSection}
+		if _, _, err := buildAbove(root, 0); err != nil {
+			return nil, err
+		}
+		sort.Strings(sections)
+		p.unitComps[RootUnit] = sections
 		p.unitMembers[RootUnit] = members
 	} else {
 		seen := make(map[int]bool)
 		for _, unit := range units {
-			if unit < 0 || unit >= len(root.Downlinks) {
-				return nil, fmt.Errorf("manager: partition: unit %d out of range (root has %d downlinks)", unit, len(root.Downlinks))
+			if unit < 0 || unit >= len(cuts) {
+				return nil, fmt.Errorf("manager: partition: unit %d out of range (cut level %d yields %d units)", unit, cutLevel, len(cuts))
 			}
 			if seen[unit] {
 				return nil, fmt.Errorf("manager: partition: unit %d assigned twice", unit)
@@ -199,7 +273,7 @@ func BuildPartition(spec ClusterSpec, units []int, bridgeTimeout time.Duration) 
 			p.Runner.Add(br)
 			p.Bridges[unit] = br
 			members[br.Name()] = true
-			switch v := root.Downlinks[unit].(type) {
+			switch v := cuts[unit].(type) {
 			case *ServerNode:
 				n, err := addNode(v)
 				if err != nil {
@@ -217,7 +291,7 @@ func BuildPartition(spec ClusterSpec, units []int, bridgeTimeout time.Duration) 
 					return nil, err
 				}
 			default:
-				return nil, fmt.Errorf("manager: partition: unit %d has unknown node type %T", unit, root.Downlinks[unit])
+				return nil, fmt.Errorf("manager: partition: unit %d has unknown node type %T", unit, cuts[unit])
 			}
 			sort.Strings(sections)
 			p.unitComps[unit] = sections

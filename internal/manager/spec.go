@@ -49,6 +49,13 @@ type ClusterSpec struct {
 	Parallel         bool          `json:"parallel,omitempty"`
 	Workers          int           `json:"workers,omitempty"`
 	Workload         *WorkloadSpec `json:"workload,omitempty"`
+	// CutLevel is the tree depth at which the partition is cut into units
+	// (see CutUnits): 0 or 1 cuts at the root's downlinks (the historical
+	// behavior), 2 cuts below the aggregation tier, and so on. It is a
+	// host-side partitioning knob — it changes which process simulates
+	// what, never what is simulated — so it is deliberately not part of
+	// TopologyHash.
+	CutLevel int `json:"cutLevel,omitempty"`
 }
 
 // maxSpecNodes bounds how many topology nodes a decoded spec may carry; a
@@ -121,8 +128,56 @@ func RackSpec(nodes int, cfg DeployConfig) (ClusterSpec, error) {
 	return SpecFromTopology(root, cfg)
 }
 
+// TreeSpec builds a uniform tree distributed-run topology mirroring
+// core.Tree — fanouts[0] switches under the root, and so on, with the last
+// fanout counting servers per leaf switch (so []int{4, 8, 32} is the
+// paper's 1024-node datacenter) — runs the assignment passes, and returns
+// the serializable spec with the given partition cut level. A single
+// fanout degenerates to RackSpec's shape.
+func TreeSpec(fanouts []int, blade BladeType, cfg DeployConfig, cutLevel int) (ClusterSpec, error) {
+	if len(fanouts) == 0 {
+		return ClusterSpec{}, fmt.Errorf("manager: tree spec: need at least one fanout")
+	}
+	for _, f := range fanouts {
+		if f < 1 {
+			return ClusterSpec{}, fmt.Errorf("manager: tree spec: fanouts must be positive, got %v", fanouts)
+		}
+	}
+	if cutLevel < 0 || cutLevel > len(fanouts) {
+		return ClusterSpec{}, fmt.Errorf("manager: tree spec: cut level %d outside tree depth %d", cutLevel, len(fanouts))
+	}
+	root := NewSwitchNode("")
+	var grow func(s *SwitchNode, level int)
+	grow = func(s *SwitchNode, level int) {
+		if level == len(fanouts)-1 {
+			for i := 0; i < fanouts[level]; i++ {
+				s.AddDownlinks(NewServerNode("", blade))
+			}
+			return
+		}
+		for i := 0; i < fanouts[level]; i++ {
+			c := NewSwitchNode("")
+			s.AddDownlinks(c)
+			grow(c, level+1)
+		}
+	}
+	grow(root, 0)
+	cfg = normalizeConfig(cfg)
+	assignSwitchNames(root)
+	assignIdentities(root, cfg)
+	spec, err := SpecFromTopology(root, cfg)
+	if err != nil {
+		return ClusterSpec{}, err
+	}
+	spec.CutLevel = cutLevel
+	return spec, nil
+}
+
 // Topology rebuilds the topology tree and DeployConfig the spec carries.
 func (s ClusterSpec) Topology() (*SwitchNode, DeployConfig, error) {
+	if s.CutLevel < 0 {
+		return nil, DeployConfig{}, fmt.Errorf("manager: spec: negative cut level %d", s.CutLevel)
+	}
 	nodes := 0
 	var conv func(ns NodeSpec) (TopoNode, error)
 	conv = func(ns NodeSpec) (TopoNode, error) {

@@ -107,7 +107,7 @@ func (s *Switch) publishMetrics() {
 	for p := range s.out {
 		o := &s.out[p]
 		qBytes += int64(o.queuedBytes)
-		qPkts = qPkts + int64(len(o.queue))
+		qPkts = qPkts + int64(o.queue.len())
 		if o.tx != nil {
 			qPkts++
 		}

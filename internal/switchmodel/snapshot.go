@@ -63,20 +63,24 @@ func (s *Switch) Save(w *snapshot.Writer) error {
 	w.U64(s.seq)
 	for p := range s.in {
 		ip := &s.in[p]
-		w.Uvarint(uint64(len(ip.flits)))
-		for _, f := range ip.flits {
+		var flits []uint64
+		if ip.cur != nil {
+			flits = ip.cur.Flits
+		}
+		w.Uvarint(uint64(len(flits)))
+		for _, f := range flits {
 			w.U64(f)
 		}
 	}
-	w.Uvarint(uint64(s.queue.Len()))
-	for _, pkt := range s.queue {
+	w.Uvarint(uint64(s.queue.len()))
+	for _, pkt := range s.queue.a {
 		savePacket(w, pkt)
 	}
 	for p := range s.out {
 		o := &s.out[p]
-		w.Uvarint(uint64(len(o.queue)))
-		for _, pkt := range o.queue {
-			savePacket(w, pkt)
+		w.Uvarint(uint64(o.queue.len()))
+		for i := 0; i < o.queue.len(); i++ {
+			savePacket(w, o.queue.at(i))
 		}
 		if o.tx != nil {
 			w.Bool(true)
@@ -121,23 +125,24 @@ func (s *Switch) Restore(r *snapshot.Reader) error {
 			return err
 		}
 		if nf > 0 {
-			in[p].flits = make([]uint64, nf)
-			for i := range in[p].flits {
-				in[p].flits[i] = r.U64()
+			cur := &Packet{Flits: make([]uint64, nf)}
+			for i := range cur.Flits {
+				cur.Flits[i] = r.U64()
 			}
+			in[p].cur = cur
 		}
 	}
 	npending := r.Count(1 << 24)
 	if err := r.Err(); err != nil {
 		return err
 	}
-	queue := make(pending, 0, npending)
+	queue := pktHeap{a: make([]*Packet, 0, npending)}
 	for i := 0; i < npending; i++ {
 		pkt, err := s.restorePacket(r)
 		if err != nil {
 			return err
 		}
-		queue = append(queue, pkt)
+		queue.a = append(queue.a, pkt)
 	}
 	out := make([]outPort, s.cfg.Ports)
 	for p := range out {
@@ -151,7 +156,11 @@ func (s *Switch) Restore(r *snapshot.Reader) error {
 			if err != nil {
 				return err
 			}
-			o.queue = append(o.queue, pkt)
+			// Broadcast sharing is not reconstructed: each restored queue
+			// entry is its own single-reference packet, which releases and
+			// recycles identically.
+			pkt.refs = 1
+			o.queue.push(pkt)
 			o.queuedBytes += len(pkt.Flits) * ethernet.FlitSize
 		}
 		if r.Bool() {
@@ -166,6 +175,7 @@ func (s *Switch) Restore(r *snapshot.Reader) error {
 			if txFlit < 0 || txFlit >= len(pkt.Flits) {
 				return fmt.Errorf("switchmodel %s: restored tx cursor %d out of range", s.cfg.Name, txFlit)
 			}
+			pkt.refs = 1
 			o.tx = pkt
 			o.txFlit = txFlit
 			// An in-flight packet still occupies its full footprint in the
@@ -197,8 +207,6 @@ func (s *Switch) Restore(r *snapshot.Reader) error {
 	s.out = out
 	s.stats = stats
 	// Republish for concurrent readers, exactly as TickBatch does.
-	snap := s.stats
-	s.pubStats.Store(&snap)
-	s.pubCycle.Store(int64(s.cycle))
+	s.publishStats()
 	return nil
 }

@@ -24,11 +24,23 @@
 // The switching algorithm and the assumption of Ethernet as the link layer
 // are not fundamental: users can plug in their own Router to model new
 // switch designs.
+//
+// At datacenter scale (the paper's 1024-node tree has ~1,100 switch ports)
+// the switch model is the scale-out hot path, so the steady-state round is
+// allocation-free: Packet structs and their flit slabs live in a per-switch
+// free list (recycled when the last reference drops at egress or on drop),
+// the pending queue is a concrete 4-ary min-heap with no interface boxing,
+// broadcast fan-out shares one refcounted packet across egress queues
+// instead of copying it per port, egress FIFOs are head-index rings whose
+// backing arrays are reused forever, and the published stats snapshot goes
+// through a seqlock instead of a fresh heap copy per round. A fully
+// quiescent round (no ingress tokens, nothing queued, nothing in flight)
+// short-circuits to an arithmetic cycle advance: O(ports), not O(ports×n).
 package switchmodel
 
 import (
-	"container/heap"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/clock"
@@ -76,6 +88,10 @@ type Packet struct {
 	Release clock.Cycles
 	// seq breaks timestamp ties deterministically (ingress order).
 	seq uint64
+	// refs counts egress queues (and in-flight transmissions) still holding
+	// the packet; broadcast fan-out shares one packet across ports instead
+	// of copying it. Owned by the ticking goroutine — never atomic.
+	refs int32
 }
 
 // Dst returns the destination MAC parsed from the first flit.
@@ -84,7 +100,9 @@ func (p *Packet) Dst() ethernet.MAC { return ethernet.DstFromFirstFlit(p.Flits[0
 // Router decides which output ports a packet goes to.
 type Router interface {
 	// Route returns the output ports for the packet. Returning no ports
-	// drops the packet.
+	// drops the packet. The returned slice is only valid until the next
+	// Route or table-mutation call and must not be retained or mutated:
+	// routers are free to return a shared scratch or cached slice.
 	Route(sw *Switch, pkt *Packet) []int
 }
 
@@ -93,6 +111,15 @@ type Router interface {
 // every port except the ingress port.
 type MACTableRouter struct {
 	table map[ethernet.MAC]int
+	// unicast is the reusable single-port result slab: the known-MAC fast
+	// path returns unicast[:1] instead of allocating a fresh slice per
+	// packet (see Router.Route's aliasing contract).
+	unicast [1]int
+	// flood caches, per ingress port, the flood list "every port except
+	// the ingress port". Built lazily for the switch's port count and
+	// invalidated on Set, so broadcast/unknown floods allocate only once
+	// per (table generation, port count) instead of once per packet.
+	flood [][]int
 }
 
 // NewMACTableRouter returns an empty table router.
@@ -101,7 +128,10 @@ func NewMACTableRouter() *MACTableRouter {
 }
 
 // Set maps a MAC address to an output port.
-func (r *MACTableRouter) Set(mac ethernet.MAC, port int) { r.table[mac] = port }
+func (r *MACTableRouter) Set(mac ethernet.MAC, port int) {
+	r.table[mac] = port
+	r.flood = nil
+}
 
 // Lookup reports the port for a MAC, if present.
 func (r *MACTableRouter) Lookup(mac ethernet.MAC) (int, bool) {
@@ -117,17 +147,24 @@ func (r *MACTableRouter) Route(sw *Switch, pkt *Packet) []int {
 			if port == pkt.InPort {
 				return nil // never reflect a packet back out its ingress port
 			}
-			return []int{port}
+			r.unicast[0] = port
+			return r.unicast[:1]
 		}
 	}
 	// Broadcast / unknown destination: flood.
-	ports := make([]int, 0, sw.cfg.Ports-1)
-	for p := 0; p < sw.cfg.Ports; p++ {
-		if p != pkt.InPort {
-			ports = append(ports, p)
+	if len(r.flood) != sw.cfg.Ports {
+		r.flood = make([][]int, sw.cfg.Ports)
+		for ip := range r.flood {
+			ports := make([]int, 0, sw.cfg.Ports-1)
+			for p := 0; p < sw.cfg.Ports; p++ {
+				if p != ip {
+					ports = append(ports, p)
+				}
+			}
+			r.flood[ip] = ports
 		}
 	}
-	return ports
+	return r.flood[pkt.InPort]
 }
 
 // Stats aggregates switch activity counters.
@@ -145,39 +182,143 @@ type Stats struct {
 	StallCycles uint64
 }
 
-// pending is the global timestamp-sorted priority queue of routed packets.
-type pending []*Packet
+// numStatFields is the number of uint64 counters in Stats, mirrored by the
+// seqlock publication slots below.
+const numStatFields = 9
 
-func (h pending) Len() int { return len(h) }
-func (h pending) Less(i, j int) bool {
-	if h[i].Release != h[j].Release {
-		return h[i].Release < h[j].Release
+// pktLess orders packets by (release timestamp, ingress sequence) — a total
+// order, so any correct heap drains packets in exactly this order.
+func pktLess(a, b *Packet) bool {
+	if a.Release != b.Release {
+		return a.Release < b.Release
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h pending) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pending) Push(x interface{}) { *h = append(*h, x.(*Packet)) }
-func (h *pending) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
+
+// pktHeap is the global timestamp-sorted priority queue of assembled
+// packets: a concrete 4-ary min-heap. Compared to container/heap this
+// removes the interface{} boxing on every push/pop and halves the tree
+// depth; because pktLess is a total order, drain order (and therefore every
+// output token stream and stat) is identical to any other min-heap.
+type pktHeap struct {
+	a []*Packet
+}
+
+func (h *pktHeap) len() int { return len(h.a) }
+
+func (h *pktHeap) push(p *Packet) {
+	h.a = append(h.a, p)
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !pktLess(a[i], a[parent]) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *pktHeap) pop() *Packet {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = nil
+	a = a[:n]
+	h.a = a
+	i := 0
+	for {
+		min := i
+		first := i*4 + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if pktLess(a[c], a[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	return top
+}
+
+// pktRing is a FIFO of packets over a reusable circular buffer. The
+// append-and-reslice queue it replaces leaked its backing array's head on
+// every dequeue (o.queue = o.queue[1:] strands the popped cell forever, the
+// same defect PR 3 fixed in the fame channel rings); the ring reuses cells
+// in place and grows only when genuinely full.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (q *pktRing) len() int { return q.n }
+
+func (q *pktRing) push(p *Packet) {
+	if q.n == len(q.buf) {
+		grown := make([]*Packet, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.at(i)
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = p
+	q.n++
+}
+
+func (q *pktRing) front() *Packet { return q.buf[q.head] }
+
+func (q *pktRing) pop() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return p
+}
+
+// at returns the i-th queued packet in FIFO order (0 = front), for
+// snapshotting and metrics; i must be < len().
+func (q *pktRing) at(i int) *Packet {
+	j := q.head + i
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	return q.buf[j]
 }
 
 // outPort is the egress state of one port.
 type outPort struct {
-	queue       []*Packet // FIFO, already routed, bounded by bytes
+	queue       pktRing // FIFO, already routed, bounded by bytes
 	queuedBytes int
 	// tx is the packet currently being transmitted, flit index next to go.
 	tx     *Packet
 	txFlit int
 }
 
-// inPort is the ingress state of one port: partial packet assembly.
+// inPort is the ingress state of one port: partial packet assembly into a
+// pooled packet (nil when no flits are buffered).
 type inPort struct {
-	flits []uint64
+	cur *Packet
 }
 
 // Switch is a software switch model implementing fame.Endpoint.
@@ -189,14 +330,26 @@ type Switch struct {
 
 	in    []inPort
 	out   []outPort
-	queue pending
+	queue pktHeap
+
+	// free is the packet pool. Packets (and their flit slabs, kept at
+	// capacity) are recycled here when their last reference drops — egress
+	// of the final flit, a drop, or an unroutable verdict — and reused at
+	// ingress, so steady-state rounds allocate nothing.
+	free []*Packet
 
 	// stats is owned by the ticking goroutine; readers go through the
-	// atomically published copies below, so Stats() and Cycle() are safe
-	// to call concurrently with an in-flight RunParallel (the runner runs
+	// seqlock-published copy below, so Stats() and Cycle() are safe to
+	// call concurrently with an in-flight RunParallel (the runner runs
 	// each endpoint, this switch included, on its own goroutine).
-	stats    Stats
-	pubStats atomic.Pointer[Stats]
+	stats Stats
+	// Seqlock publication: pubSeq is odd while the writer is mid-publish;
+	// readers retry until they see the same even value on both sides of
+	// copying pubStat. Replaces an atomic.Pointer[Stats] store whose
+	// per-round heap copy was the last steady-state allocation.
+	pubSeq   atomic.Uint64
+	pubStat  [numStatFields]atomic.Uint64
+	pubLast  Stats // last published counters; quiet rounds skip the seqlock
 	pubCycle atomic.Int64
 
 	// metrics, when non-nil, mirrors the switch counters into the
@@ -239,6 +392,34 @@ func New(cfg Config) *Switch {
 	}
 }
 
+// newPacket takes a packet from the pool (flit slab emptied but at
+// capacity) or allocates one on first use.
+func (s *Switch) newPacket() *Packet {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// recycle returns a packet to the pool, keeping its flit slab's capacity.
+func (s *Switch) recycle(p *Packet) {
+	p.Flits = p.Flits[:0]
+	p.refs = 0
+	s.free = append(s.free, p)
+}
+
+// unref drops one egress reference and recycles the packet when the last
+// holder (queue slot, in-flight tx) lets go.
+func (s *Switch) unref(p *Packet) {
+	p.refs--
+	if p.refs <= 0 {
+		s.recycle(p)
+	}
+}
+
 // Name implements fame.Endpoint.
 func (s *Switch) Name() string { return s.cfg.Name }
 
@@ -257,15 +438,51 @@ func (s *Switch) MACTable() *MACTableRouter {
 }
 
 // Stats returns a snapshot of the switch counters as of the most recently
-// completed TickBatch. It reads an atomically published copy, so it is
-// safe to call from any goroutine while a parallel run is in flight —
-// the snapshot is always internally consistent (whole-round granularity),
+// completed TickBatch. It reads the seqlock-published copy, so it is safe
+// to call from any goroutine while a parallel run is in flight — the
+// snapshot is always internally consistent (whole-round granularity),
 // never a torn mid-round view.
 func (s *Switch) Stats() Stats {
-	if p := s.pubStats.Load(); p != nil {
-		return *p
+	for {
+		s1 := s.pubSeq.Load()
+		if s1&1 == 0 {
+			var st Stats
+			st.PacketsIn = s.pubStat[0].Load()
+			st.PacketsOut = s.pubStat[1].Load()
+			st.FlitsIn = s.pubStat[2].Load()
+			st.FlitsOut = s.pubStat[3].Load()
+			st.DropsBufFull = s.pubStat[4].Load()
+			st.DropsStale = s.pubStat[5].Load()
+			st.DropsUnroutable = s.pubStat[6].Load()
+			st.BytesSwitched = s.pubStat[7].Load()
+			st.StallCycles = s.pubStat[8].Load()
+			if s.pubSeq.Load() == s1 {
+				return st
+			}
+		}
+		runtime.Gosched() // writer mid-publish; it finishes in a few stores
 	}
-	return Stats{}
+}
+
+// publishStats makes the current counters visible to concurrent readers.
+// Rounds that moved no counter skip the write side entirely; the published
+// copy is already identical.
+func (s *Switch) publishStats() {
+	if s.stats != s.pubLast {
+		s.pubSeq.Add(1) // odd: readers hold off
+		s.pubStat[0].Store(s.stats.PacketsIn)
+		s.pubStat[1].Store(s.stats.PacketsOut)
+		s.pubStat[2].Store(s.stats.FlitsIn)
+		s.pubStat[3].Store(s.stats.FlitsOut)
+		s.pubStat[4].Store(s.stats.DropsBufFull)
+		s.pubStat[5].Store(s.stats.DropsStale)
+		s.pubStat[6].Store(s.stats.DropsUnroutable)
+		s.pubStat[7].Store(s.stats.BytesSwitched)
+		s.pubStat[8].Store(s.stats.StallCycles)
+		s.pubSeq.Add(1) // even: snapshot complete
+		s.pubLast = s.stats
+	}
+	s.pubCycle.Store(int64(s.cycle))
 }
 
 // Cycle returns the switch's target cycle as of the most recently
@@ -286,54 +503,82 @@ func (s *Switch) SetStall(fn func(port int, cycle clock.Cycles) bool) { s.stall 
 // TickBatch implements fame.Endpoint: one full switching round over n
 // target cycles.
 func (s *Switch) TickBatch(n int, in, out []*token.Batch) {
+	// Idle early-out: with no ingress tokens, nothing pending and nothing
+	// queued or in flight at egress, the round is a pure cycle advance —
+	// partial ingress assemblies can't progress without new tokens, and no
+	// stat moves. Quiescent aggregation/root switches pay O(ports), not
+	// O(ports×n). A stall hook disables the shortcut: stalled port-cycles
+	// are counted (and checkpointed) even on otherwise idle ports.
+	if s.stall == nil && s.queue.len() == 0 {
+		idle := true
+		for p := 0; p < s.cfg.Ports; p++ {
+			o := &s.out[p]
+			if len(in[p].Slots) != 0 || o.tx != nil || o.queue.len() != 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			s.cycle += clock.Cycles(n)
+			s.publishStats()
+			if s.metrics != nil {
+				s.publishMetrics()
+			}
+			return
+		}
+	}
+
 	// Phase 1: ingress. Buffer valid tokens into packets; timestamp each
 	// completed packet with its last token's arrival cycle plus the
 	// minimum switching latency, and push it into the global queue.
 	for p := 0; p < s.cfg.Ports; p++ {
 		ip := &s.in[p]
 		for _, slot := range in[p].Slots {
-			ip.flits = append(ip.flits, slot.Tok.Data)
+			if ip.cur == nil {
+				ip.cur = s.newPacket()
+			}
+			ip.cur.Flits = append(ip.cur.Flits, slot.Tok.Data)
 			s.stats.FlitsIn++
 			if slot.Tok.Last {
-				pkt := &Packet{
-					Flits:   ip.flits,
-					InPort:  p,
-					Release: s.cycle + clock.Cycles(slot.Offset) + s.cfg.SwitchingLatency,
-					seq:     s.seq,
-				}
+				pkt := ip.cur
+				ip.cur = nil
+				pkt.InPort = p
+				pkt.Release = s.cycle + clock.Cycles(slot.Offset) + s.cfg.SwitchingLatency
+				pkt.seq = s.seq
 				s.seq++
-				ip.flits = nil
 				s.stats.PacketsIn++
-				heap.Push(&s.queue, pkt)
+				s.queue.push(pkt)
 			}
 		}
 	}
 
 	// Phase 2: global switching step. Drain the priority queue in
-	// timestamp order into output port buffers via the router, duplicating
-	// for broadcast. Packets that would overflow an output buffer are
-	// dropped at full-packet granularity.
-	for s.queue.Len() > 0 {
-		pkt := heap.Pop(&s.queue).(*Packet)
+	// timestamp order into output port buffers via the router; broadcast
+	// fan-out shares the packet across ports under a refcount. Packets
+	// that would overflow an output buffer are dropped at full-packet
+	// granularity.
+	for s.queue.len() > 0 {
+		pkt := s.queue.pop()
 		ports := s.router.Route(s, pkt)
 		if len(ports) == 0 {
 			s.stats.DropsUnroutable++
+			s.recycle(pkt)
 			continue
 		}
+		bytes := len(pkt.Flits) * ethernet.FlitSize
 		for _, op := range ports {
 			o := &s.out[op]
-			bytes := len(pkt.Flits) * ethernet.FlitSize
 			if o.queuedBytes+bytes > s.cfg.OutputBufferBytes {
 				s.stats.DropsBufFull++
 				continue
 			}
-			dup := pkt
-			if len(ports) > 1 {
-				c := *pkt
-				dup = &c
-			}
-			o.queue = append(o.queue, dup)
+			pkt.refs++
+			o.queue.push(pkt)
 			o.queuedBytes += bytes
+		}
+		if pkt.refs == 0 {
+			// Every routed port overflowed: nobody holds the packet.
+			s.recycle(pkt)
 		}
 	}
 
@@ -346,11 +591,9 @@ func (s *Switch) TickBatch(n int, in, out []*token.Batch) {
 	}
 	s.cycle += clock.Cycles(n)
 
-	// Publish this round's counters for concurrent readers: one copy and
-	// two atomic stores per round, nothing per flit.
-	snap := s.stats
-	s.pubStats.Store(&snap)
-	s.pubCycle.Store(int64(s.cycle))
+	// Publish this round's counters for concurrent readers: a handful of
+	// atomic stores per changed round, nothing per flit, no allocation.
+	s.publishStats()
 	if s.metrics != nil {
 		s.publishMetrics()
 	}
@@ -366,21 +609,22 @@ func (s *Switch) releasePort(p int, n int, out *token.Batch) {
 		}
 		if o.tx == nil {
 			// Try to start a new packet this cycle.
-			for len(o.queue) > 0 {
-				head := o.queue[0]
+			for o.queue.len() > 0 {
+				head := o.queue.front()
 				if head.Release > now {
 					break
 				}
 				if s.cfg.MaxReleaseDelay > 0 && now-head.Release > s.cfg.MaxReleaseDelay {
 					// Too stale: congestion drop.
-					o.queue = o.queue[1:]
+					o.queue.pop()
 					o.queuedBytes -= len(head.Flits) * ethernet.FlitSize
 					s.stats.DropsStale++
+					s.unref(head)
 					continue
 				}
 				o.tx = head
 				o.txFlit = 0
-				o.queue = o.queue[1:]
+				o.queue.pop()
 				break
 			}
 		}
@@ -388,10 +632,10 @@ func (s *Switch) releasePort(p int, n int, out *token.Batch) {
 			// Idle: fast-forward to the next packet's release time (or
 			// the end of the batch). Semantically identical to ticking
 			// every empty cycle, but O(1) for idle ports.
-			if len(o.queue) == 0 {
+			if o.queue.len() == 0 {
 				return
 			}
-			next := o.queue[0].Release
+			next := o.queue.front().Release
 			if next >= s.cycle+clock.Cycles(n) {
 				return
 			}
@@ -411,8 +655,9 @@ func (s *Switch) releasePort(p int, n int, out *token.Batch) {
 		o.txFlit++
 		if last {
 			o.queuedBytes -= len(o.tx.Flits) * ethernet.FlitSize
-			o.tx = nil
 			s.stats.PacketsOut++
+			s.unref(o.tx)
+			o.tx = nil
 		}
 	}
 }

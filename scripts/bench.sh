@@ -17,13 +17,18 @@
 # BENCH_history.jsonl, so the perf trajectory is tracked across PRs.
 #
 # The default invocation includes the multi-core worker sweep (workers
-# 1/2/4/8 at 8-64 nodes, speedup vs the 1-worker baseline per cell).
-# Flags are last-wins, so pass -worker-sweep "" to skip it, or override
-# any of the sweep parameters:
+# 1/2/4/8 at 8-64 nodes, speedup vs the 1-worker baseline per cell) and
+# the sim-rate-vs-scale pass (the paper's Fig. 9 curve at 8/64/256 nodes,
+# recorded as scale_curve in BENCH_fame.json and scale_hz in the history).
+# Flags are last-wins, so pass -worker-sweep "" or -scale-nodes "" to skip
+# a pass, or override its parameters — the paper's full 1024-node
+# datacenter is opt-in because it multiplies the bench wall time:
 #
 #   scripts/bench.sh -worker-sweep 1,2 -sweep-nodes 8,16 -multiplexed
+#   scripts/bench.sh -scale-nodes 8,64,256,1024
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go run ./cmd/firesim bench -out BENCH_fame.json -history BENCH_history.jsonl \
-    -worker-sweep 1,2,4,8 -sweep-nodes 8,16,32,64 "$@"
+    -worker-sweep 1,2,4,8 -sweep-nodes 8,16,32,64 \
+    -scale-nodes 8,64,256 -scale-rounds 1024 "$@"

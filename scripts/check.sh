@@ -29,6 +29,17 @@ go test -count=1 -run 'TestSelfModifyingCode|TestDecodeCacheRandomToggle' ./inte
 go test -count=1 -run 'TestSkipIdleMatchesTickLoop' ./internal/nic >/dev/null
 go test -count=1 -run 'TestWFIReceiverSkipEquivalence|TestInterruptStormEquivalence|TestClusterFaultedFastPathEquivalence' ./internal/soc >/dev/null
 
+echo "== switch fast-path gate =="
+# The zero-allocation switch datapath must stay bit-identical to the
+# straightforward container/heap + copy-per-port reference (token-stream
+# fuzz over random port counts, latencies, buffer limits, stall hooks and
+# broadcast mixes), must tick dense and idle steady-state rounds without
+# a single heap allocation, and must not let the egress rings or the
+# packet pool grow without bound under sustained load.
+go test -count=1 \
+    -run 'TestSwitchStreamEquivalenceFuzz|TestSwitchZeroSteadyStateAllocs|TestOutQueueNoCapacityGrowth' \
+    ./internal/switchmodel >/dev/null
+
 echo "== superblock equivalence gate =="
 # The superblock dispatcher (decode-once/execute-many with fetch spans)
 # must be bit-identical to per-instruction stepping: window-driver
@@ -121,6 +132,26 @@ for attempt in 1 2 3; do
 done
 [ "$SWEEP_OK" = 1 ] || { echo "FAIL: worker-sweep scaling gate $SWEEP_GATE on $CORES core(s) after 3 attempts" >&2; exit 1; }
 
+echo "== scale-curve gate (Fig. 9 shape) =="
+# The sim-rate-vs-scale curve must keep its shape: growing the target from
+# 64 nodes (8x8 tree) to 256 (4x8x8) multiplies the per-cycle work by ~4x
+# plus two extra switch tiers, so the 256-node rate lands around 0.15-0.2
+# of the 64-node rate here. The 0.08 floor only trips when the datapath
+# cost grows super-linearly with scale (per-round allocation, egress-queue
+# retention) — exactly the regressions the zero-alloc switch work removed.
+# Retried like the other perf gates: a real regression fails every attempt.
+SCALE_OK=0
+for attempt in 1 2 3; do
+    if go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 1 -node-nodes 0 \
+        -scale-nodes 8,64,256 -scale-rounds 256 -scale-reps 2 \
+        -scale-min-frac 0.08 -out "$(mktemp)" >/dev/null; then
+        SCALE_OK=1
+        break
+    fi
+    echo "   attempt $attempt missed the scale-curve gate, retrying"
+done
+[ "$SCALE_OK" = 1 ] || { echo "FAIL: 256-node sim rate below 0.08 of the 64-node rate on 3 attempts" >&2; exit 1; }
+
 echo "== multiplexed-mode equivalence smoke (-race) =="
 # The many-nodes-per-worker scheduling mode must stay bit-identical to the
 # sequential scheduler under the race detector: stream equivalence across
@@ -151,6 +182,18 @@ timeout 180 go run ./cmd/firesim run-dist -nodes 8 -procs 3 \
 timeout 180 go run ./cmd/firesim run-dist -nodes 8 -procs 3 \
     -horizon 16384 -ckpt-every 2048 -parallel -respawns 2 \
     -chaos 'kill:shard1@4096,stop:shard0@6144,stall:shard2@10240+5000' \
+    -verify -quiet
+
+echo "== 256-node multi-level-cut chaos smoke =="
+# The paper's 4x8x8 tree cut below the aggregation tier: 32 ToR units over
+# 4 shard processes with the root and aggregation switches in the
+# coordinator. One shard is SIGKILLed mid-run and its units re-packed onto
+# the survivors, then a stall trips the progress watchdog; the healed
+# 256-node run must still be bit-identical to the undisturbed in-process
+# reference, component by component.
+timeout 180 go run ./cmd/firesim run-dist -tree 4,8,8 -cut-level 2 -procs 4 \
+    -horizon 16384 -ckpt-every 2048 \
+    -chaos 'kill:shard1@4096,stall:shard2@10240+5000' \
     -verify -quiet
 
 echo "== snapshot fuzz (short) =="
