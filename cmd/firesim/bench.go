@@ -114,6 +114,10 @@ type benchFile struct {
 	// NodeResults covers the per-node compute loop (SoC blades running
 	// machine code) with the fast paths on vs off; see nodebench.go.
 	NodeResults []nodeBenchResult `json:"node_results,omitempty"`
+	// DistResults is the distributed token-plane pass: multi-process
+	// sim rate and per-window wire cost vs the v2 fixed-width codec
+	// baseline, idle and dense variants; see distbench.go.
+	DistResults []distBenchPoint `json:"dist_results,omitempty"`
 }
 
 // benchHistoryEntry is one line of BENCH_history.jsonl: a timestamped
@@ -145,6 +149,11 @@ type benchHistoryEntry struct {
 	SweepEffW    map[string]int     `json:"sweep_effective_workers,omitempty"`
 	// Scale-curve digests, keyed by node count: the Fig. 9 trajectory.
 	ScaleHz map[string]float64 `json:"scale_hz,omitempty"`
+	// Dist-pass digests, keyed by variant ("idle"/"dense"): distributed
+	// sim rate, per-window wire bytes, and compression vs the v2 codec.
+	DistHz        map[string]float64 `json:"dist_hz,omitempty"`
+	DistWireBPW   map[string]float64 `json:"dist_wire_bytes_per_window,omitempty"`
+	DistWireRatio map[string]float64 `json:"dist_wire_ratio,omitempty"`
 }
 
 func cmdBench(args []string) error {
@@ -165,6 +174,13 @@ func cmdBench(args []string) error {
 	scaleRounds := fs.Int("scale-rounds", 0, "link-latency rounds per scale measurement (0 = -rounds)")
 	scaleReps := fs.Int("scale-reps", 3, "repetitions per scale point (best wall time wins)")
 	scaleMinFrac := fs.Float64("scale-min-frac", 0, "Fig. 9 shape gate: fail unless the largest size's sim rate is at least this fraction of the second largest's (0 disables)")
+	distNodes := fs.Int("dist-nodes", 0, "node count for the distributed token-plane pass (0 disables it)")
+	distProcs := fs.Int("dist-procs", 3, "shard worker processes for the dist pass")
+	distHorizon := fs.Uint64("dist-horizon", 16384, "target cycle for the dist pass (multiple of -dist-link)")
+	distLink := fs.Uint64("dist-link", 512, "link latency in cycles for the dist pass (must be even)")
+	distIdleMinRatio := fs.Float64("dist-idle-min-ratio", 0, "fail unless the idle dist variant's wire ratio vs the v2 codec reaches this (0 disables the gate)")
+	distDenseMinRatio := fs.Float64("dist-dense-min-ratio", 0, "fail unless the dense dist variant's wire ratio vs the v2 codec reaches this (0 disables the gate)")
+	distMinFrac := fs.Float64("dist-min-frac", 0, "fail unless the dense dist variant's sim rate is at least this fraction of the same spec in-process (0 disables the gate)")
 	nodeNodes := fs.Int("node-nodes", 4, "blade count for the per-node compute-loop bench (0 disables it)")
 	nodeRounds := fs.Int("node-rounds", 512, "link-latency rounds per node-bench measurement")
 	idleMinSpeedup := fs.Float64("idle-min-speedup", 0, "fail unless the idle workload's fast-path speedup reaches this (0 disables the gate)")
@@ -289,6 +305,23 @@ func cmdBench(args []string) error {
 		}
 	}
 
+	distTable := stats.NewTable("Variant", "DistHz", "InprocHz", "Frac", "Wire B/win", "v2 B/win", "Ratio")
+	if *distNodes > 0 {
+		distResults, err := benchDistPass(*distNodes, *distProcs, *distHorizon, *distLink)
+		if err != nil {
+			return err
+		}
+		doc.DistResults = distResults
+		for _, p := range distResults {
+			distTable.AddRow(p.Variant,
+				clock.Hz(p.DistHz), clock.Hz(p.InprocHz),
+				fmt.Sprintf("%.3f", p.DistFrac),
+				fmt.Sprintf("%.1f", p.WireBytesPerWindow),
+				fmt.Sprintf("%.1f", p.PrecodecBytesPerWindow),
+				fmt.Sprintf("%.2fx", p.WireRatio))
+		}
+	}
+
 	buf, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		return err
@@ -321,6 +354,11 @@ func cmdBench(args []string) error {
 		fmt.Printf("per-node compute loop, %d blades x %d rounds, fast paths on vs off:\n",
 			*nodeNodes, *nodeRounds)
 		fmt.Print(nodeTable.String())
+	}
+	if len(doc.DistResults) > 0 {
+		fmt.Printf("distributed token plane, %d nodes / %d procs to cycle %d (wire vs v2-codec baseline):\n",
+			*distNodes, *distProcs, *distHorizon)
+		fmt.Print(distTable.String())
 	}
 	fmt.Printf("wrote %s\n", *out)
 
@@ -370,6 +408,11 @@ func cmdBench(args []string) error {
 	}
 	if *scaleMinFrac > 0 {
 		if err := checkScaleGate(doc.ScaleCurve, *scaleMinFrac); err != nil {
+			return err
+		}
+	}
+	if *distIdleMinRatio > 0 || *distDenseMinRatio > 0 || *distMinFrac > 0 {
+		if err := checkDistGates(doc.DistResults, *distIdleMinRatio, *distDenseMinRatio, *distMinFrac); err != nil {
 			return err
 		}
 	}
@@ -437,6 +480,16 @@ func appendBenchHistory(path string, doc *benchFile) error {
 		e.ScaleHz = map[string]float64{}
 		for _, p := range doc.ScaleCurve {
 			e.ScaleHz[fmt.Sprintf("%d", p.Nodes)] = p.SimHz
+		}
+	}
+	if len(doc.DistResults) > 0 {
+		e.DistHz = map[string]float64{}
+		e.DistWireBPW = map[string]float64{}
+		e.DistWireRatio = map[string]float64{}
+		for _, p := range doc.DistResults {
+			e.DistHz[p.Variant] = p.DistHz
+			e.DistWireBPW[p.Variant] = p.WireBytesPerWindow
+			e.DistWireRatio[p.Variant] = p.WireRatio
 		}
 	}
 	if len(doc.NodeResults) > 0 {

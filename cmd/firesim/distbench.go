@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/manager"
+)
+
+// The dist pass measures the distributed token plane end to end: it
+// stands up the same loopback-TCP coordinator the chaos tests use
+// (re-execing this binary as `firesim shard` workers), runs one clean
+// multi-process epoch, and reads the wire accounting the root
+// partition's bridges collected. Two variants bracket the codec's
+// operating range:
+//
+//   - idle: no workload — every exchange window is an empty batch, the
+//     best case for the run-length frame (a handful of bytes where the
+//     fixed-width v2 codec spent 16).
+//   - dense: a half-line-rate stream ring — every server streams
+//     back-to-back frame bursts, so windows arrive ~50% occupied and the
+//     frame cost is data-dominated (the hard case for any codec; the win
+//     left is the per-slot header).
+//
+// Each variant also runs the identical spec in-process, which serves two
+// purposes at once: the wall-clock baseline for the dist-rate floor gate
+// (a distributed run that collapses to a crawl fails loudly even though
+// it produces correct hashes), and the bit-identity reference — the pass
+// refuses to report numbers from a run whose combined state hash
+// diverged.
+
+// distBenchPoint is one variant's measurement. Wire totals are summed
+// over the root partition's bridges for the final epoch; Windows is the
+// number of batch exchanges per bridge, so WireBytesPerWindow is the
+// root's aggregate per-window wire cost and WireRatio is the compression
+// factor against the v2 fixed-width baseline (PrecodecBytes prices the
+// same traffic at 16 + 13*slots per frame).
+type distBenchPoint struct {
+	Variant   string  `json:"variant"`
+	Nodes     int     `json:"nodes"`
+	Procs     int     `json:"procs"`
+	Horizon   uint64  `json:"horizon"`
+	WallNanos int64   `json:"wall_ns"`
+	DistHz    float64 `json:"dist_hz"`
+	InprocHz  float64 `json:"inproc_hz"`
+	// DistFrac is DistHz/InprocHz: the cost of going multi-process,
+	// spawn and handshake and checkpoint included.
+	DistFrac float64 `json:"dist_frac"`
+
+	Windows                uint64  `json:"windows"`
+	WireBytesSent          uint64  `json:"wire_bytes_sent"`
+	WireBytesRecv          uint64  `json:"wire_bytes_recv"`
+	PrecodecBytes          uint64  `json:"precodec_bytes"`
+	WireBytesPerWindow     float64 `json:"wire_bytes_per_window"`
+	PrecodecBytesPerWindow float64 `json:"precodec_bytes_per_window"`
+	WireRatio              float64 `json:"wire_ratio"`
+}
+
+// benchDistPass runs both variants at one size. The checkpoint interval
+// is the whole horizon — one coordinated checkpoint at the end — so the
+// measured region is the token plane, not the snapshot store.
+func benchDistPass(nodes, procs int, horizon, link uint64) ([]distBenchPoint, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name     string
+		workload *manager.WorkloadSpec
+	}{
+		{"idle", nil},
+		// 100 Gbps is ~half the 204.8 Gbps token line rate (one 8-byte
+		// flit per 3.2 GHz cycle), so exchange windows run ~50% occupied
+		// in 25-flit bursts — dense enough that frame cost is data-
+		// dominated. Streams much past ~150 Gbps saturate the root
+		// switch, where a pre-existing divergence between the partitioned
+		// and in-process switch state appears (the bit-identity check
+		// below catches it); the dense point deliberately stays under
+		// that.
+		{"dense", &manager.WorkloadSpec{Kind: "stream", StartAt: 600, FrameBytes: 200, Gbps: 100, StopAt: horizon}},
+	}
+
+	var points []distBenchPoint
+	for _, v := range variants {
+		spec, err := manager.RackSpec(nodes, manager.DeployConfig{LinkLatency: clock.Cycles(link), Seed: 42})
+		if err != nil {
+			return nil, fmt.Errorf("dist bench %s: %w", v.name, err)
+		}
+		spec.Workload = v.workload
+
+		t0 := time.Now()
+		ref, err := manager.ReferenceHashes(spec, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("dist bench %s: in-process reference: %w", v.name, err)
+		}
+		inprocWall := time.Since(t0)
+
+		baseDir, err := os.MkdirTemp("", "firesim-distbench-")
+		if err != nil {
+			return nil, err
+		}
+		t1 := time.Now()
+		report, err := manager.RunDistributed(manager.CoordinatorConfig{
+			Spec:      spec,
+			Procs:     procs,
+			BaseDir:   baseDir,
+			CkptEvery: horizon,
+			Horizon:   horizon,
+			Spawn: func(name, controlAddr string) *exec.Cmd {
+				cmd := exec.Command(self, "shard", "-control", controlAddr, "-name", name, "-quiet")
+				cmd.Stderr = os.Stderr
+				return cmd
+			},
+		})
+		distWall := time.Since(t1)
+		os.RemoveAll(baseDir)
+		if err != nil {
+			return nil, fmt.Errorf("dist bench %s: %w", v.name, err)
+		}
+		if report.Combined != manager.CombineHashes(ref) {
+			return nil, fmt.Errorf("dist bench %s: distributed run is NOT bit-identical to the in-process reference", v.name)
+		}
+
+		p := distBenchPoint{
+			Variant:       v.name,
+			Nodes:         nodes,
+			Procs:         procs,
+			Horizon:       horizon,
+			WallNanos:     distWall.Nanoseconds(),
+			DistHz:        toVariant(clock.Cycles(horizon), distWall).SimHz,
+			InprocHz:      toVariant(clock.Cycles(horizon), inprocWall).SimHz,
+			Windows:       report.Windows,
+			WireBytesSent: report.WireBytesSent,
+			WireBytesRecv: report.WireBytesRecv,
+			PrecodecBytes: report.PrecodecBytes,
+		}
+		if p.InprocHz > 0 {
+			p.DistFrac = p.DistHz / p.InprocHz
+		}
+		if p.Windows > 0 {
+			p.WireBytesPerWindow = float64(p.WireBytesSent) / float64(p.Windows)
+			p.PrecodecBytesPerWindow = float64(p.PrecodecBytes) / float64(p.Windows)
+		}
+		if p.WireBytesSent > 0 {
+			p.WireRatio = float64(p.PrecodecBytes) / float64(p.WireBytesSent)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// checkDistGates enforces the token-plane bounds: per-variant wire-ratio
+// floors (how much the v3 codec must beat the v2 baseline by, idle and
+// dense bracketing the operating range) and the dist-rate floor (the
+// distributed run's sim rate as a fraction of the same spec in-process).
+// The rate floor applies to the dense variant only: an idle in-process
+// run degenerates to nearly pure host speed, so a fraction of it would
+// gate process-spawn latency rather than the token plane.
+func checkDistGates(points []distBenchPoint, idleMinRatio, denseMinRatio, minFrac float64) error {
+	if len(points) == 0 {
+		return fmt.Errorf("bench: a dist gate is set but the dist pass did not run (see -dist-nodes)")
+	}
+	for _, p := range points {
+		min := 0.0
+		switch p.Variant {
+		case "idle":
+			min = idleMinRatio
+		case "dense":
+			min = denseMinRatio
+		}
+		if min > 0 && p.WireRatio < min {
+			return fmt.Errorf("bench: %s dist wire ratio %.2fx below the %.2fx gate (%.1f B/window vs %.1f baseline)",
+				p.Variant, p.WireRatio, min, p.WireBytesPerWindow, p.PrecodecBytesPerWindow)
+		}
+		if minFrac > 0 && p.Variant == "dense" && p.DistFrac < minFrac {
+			return fmt.Errorf("bench: %s dist sim rate is %.3f of the in-process rate, below the %.3f floor",
+				p.Variant, p.DistFrac, minFrac)
+		}
+	}
+	return nil
+}

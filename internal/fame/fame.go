@@ -63,6 +63,27 @@ type Endpoint interface {
 	TickBatch(n int, in, out []*token.Batch)
 }
 
+// EagerStarter is an optional Endpoint capability for overlapping I/O
+// with computation. When an endpoint implements it, every scheduler runs
+// a per-round prepass before the normal tick order: the endpoint's input
+// batches are popped (and injector-filtered) early and handed to
+// StartBatch, which may kick off asynchronous work — a transport.Bridge
+// puts its frame on the wire — before any endpoint in the round blocks.
+// With K cut-point bridges in a partition, all K sends overlap and the
+// round pays ~one network round-trip instead of K serial ones.
+//
+// Contract: StartBatch receives exactly the input batches the subsequent
+// TickBatch call will receive (same storage, already filtered); it must
+// not mutate them, and it must be a best-effort no-op whenever it cannot
+// proceed — the runtime neither checks for nor reacts to failure there,
+// TickBatch remains responsible for the window's result. Pre-popping is
+// equivalence-preserving: a round's inputs were pushed in the previous
+// round (or pre-seeded), so the FIFO pop yields the same batch whether it
+// happens in the prepass or at the endpoint's slot in tick order.
+type EagerStarter interface {
+	StartBatch(n int, in []*token.Batch)
+}
+
 // Injector observes and mutates token batches as they cross endpoint
 // boundaries, the hook the fault-injection subsystem (internal/faults)
 // plugs into. FilterInput runs on a batch just before it is delivered to
@@ -403,6 +424,22 @@ func (r *Runner) run(cycles clock.Cycles) (wall time.Duration, err error) {
 		outs[i] = make([]*token.Batch, e.NumPorts())
 	}
 
+	// Eager endpoints (cut-point bridges) get a per-round prepass: inputs
+	// popped and filtered early, StartBatch called, and the main loop then
+	// reuses the pre-popped batches. See the EagerStarter contract.
+	type eagerEp struct {
+		i int
+		s EagerStarter
+	}
+	var eagers []eagerEp
+	isEager := make([]bool, len(r.endpoints))
+	for i, e := range r.endpoints {
+		if s, ok := e.(EagerStarter); ok {
+			eagers = append(eagers, eagerEp{i, s})
+			isEager[i] = true
+		}
+	}
+
 	m := r.metrics
 	var epAcc []uint64
 	if m != nil {
@@ -417,15 +454,38 @@ func (r *Runner) run(cycles clock.Cycles) (wall time.Duration, err error) {
 			lastTick = time.Now()
 		}
 		var roundToks uint64
-		for i, e := range r.endpoints {
+		for _, eg := range eagers {
+			i := eg.i
 			curIdx = i
 			in := ins[i]
-			out := outs[i]
 			for p := range in {
 				if ch := r.inCh[i][p]; ch != nil {
 					in[p] = ch.pop()
 				} else {
 					in[p] = r.emptyIn
+				}
+			}
+			if inj := r.injector; inj != nil {
+				name := r.endpoints[i].Name()
+				for p := range in {
+					if r.inCh[i][p] != nil {
+						inj.FilterInput(name, p, r.cycle, in[p])
+					}
+				}
+			}
+			eg.s.StartBatch(n, in)
+		}
+		for i, e := range r.endpoints {
+			curIdx = i
+			in := ins[i]
+			out := outs[i]
+			for p := range in {
+				if !isEager[i] {
+					if ch := r.inCh[i][p]; ch != nil {
+						in[p] = ch.pop()
+					} else {
+						in[p] = r.emptyIn
+					}
 				}
 				if ch := r.outCh[i][p]; ch != nil {
 					out[p] = ch.take(n)
@@ -435,7 +495,7 @@ func (r *Runner) run(cycles clock.Cycles) (wall time.Duration, err error) {
 					out[p] = sb
 				}
 			}
-			if inj := r.injector; inj != nil {
+			if inj := r.injector; inj != nil && !isEager[i] {
 				name := e.Name()
 				for p := range in {
 					if r.inCh[i][p] != nil {

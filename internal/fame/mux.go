@@ -56,6 +56,7 @@ type muxMember struct {
 	idx    int
 	ep     Endpoint
 	name   string
+	eager  EagerStarter // non-nil when ep wants the per-round prepass
 	lo, hi int
 }
 
@@ -96,7 +97,8 @@ func buildMuxPlans(plans [][]*epPlan) []*muxPlan {
 			u.out = append(u.out, pl.out...)
 			u.scratch = append(u.scratch, pl.scratch...)
 			u.members = append(u.members, muxMember{
-				idx: pl.idx, ep: pl.ep, name: pl.name, lo: lo, hi: len(u.in),
+				idx: pl.idx, ep: pl.ep, name: pl.name, eager: pl.eager,
+				lo: lo, hi: len(u.in),
 			})
 			if u.empty == nil {
 				u.empty = pl.empty
@@ -147,19 +149,22 @@ func (r *Runner) muxLoop(units []*muxPlan, hbWorker, rounds, n int, m *runnerMet
 			if m != nil {
 				epAcc = make([]uint64, len(u.members))
 			}
+			// Eager members of this unit: their span inputs pop early each
+			// round so StartBatch overlaps the rest of the round.
+			var eagers []*muxMember
+			for mi := range u.members {
+				if u.members[mi].eager != nil {
+					eagers = append(eagers, &u.members[mi])
+				}
+			}
 			for round := 0; round < rounds; round++ {
 				if abort.Load() {
 					return
 				}
 				winStart := base + clock.Cycles(round)*r.step
 				curWin = winStart
-				sampled := m != nil && round&tickSampleMask == 0
-				for mi := range u.members {
-					mem := &u.members[mi]
+				for _, mem := range eagers {
 					curName = mem.name
-					// The member's ports are the span [lo, hi) of the
-					// unit's flat arrays; the in/out views handed to
-					// TickBatch are subslices of the shared arena.
 					for p := mem.lo; p < mem.hi; p++ {
 						switch bind := u.in[p]; {
 						case bind.rp != nil:
@@ -172,6 +177,38 @@ func (r *Runner) muxLoop(units []*muxPlan, hbWorker, rounds, n int, m *runnerMet
 							u.ins[p] = bind.ch.pop()
 						default:
 							u.ins[p] = u.empty
+						}
+					}
+					if inj := r.injector; inj != nil {
+						for p := mem.lo; p < mem.hi; p++ {
+							if u.in[p].connected() {
+								inj.FilterInput(mem.name, p-mem.lo, winStart, u.ins[p])
+							}
+						}
+					}
+					mem.eager.StartBatch(n, u.ins[mem.lo:mem.hi])
+				}
+				sampled := m != nil && round&tickSampleMask == 0
+				for mi := range u.members {
+					mem := &u.members[mi]
+					curName = mem.name
+					// The member's ports are the span [lo, hi) of the
+					// unit's flat arrays; the in/out views handed to
+					// TickBatch are subslices of the shared arena.
+					for p := mem.lo; p < mem.hi; p++ {
+						if mem.eager == nil {
+							switch bind := u.in[p]; {
+							case bind.rp != nil:
+								b, ok := popWait(bind.rp.data, &abort)
+								if !ok {
+									return
+								}
+								u.ins[p] = b
+							case bind.ch != nil:
+								u.ins[p] = bind.ch.pop()
+							default:
+								u.ins[p] = u.empty
+							}
 						}
 						switch bind := u.out[p]; {
 						case bind.rp != nil:
@@ -191,7 +228,7 @@ func (r *Runner) muxLoop(units []*muxPlan, hbWorker, rounds, n int, m *runnerMet
 							u.outs[p] = u.scratch[p]
 						}
 					}
-					if inj := r.injector; inj != nil {
+					if inj := r.injector; inj != nil && mem.eager == nil {
 						for p := mem.lo; p < mem.hi; p++ {
 							if u.in[p].connected() {
 								inj.FilterInput(mem.name, p-mem.lo, winStart, u.ins[p])

@@ -345,6 +345,7 @@ type epPlan struct {
 	idx     int // index into Runner.endpoints (and metrics arrays)
 	ep      Endpoint
 	name    string
+	eager   EagerStarter // non-nil when ep wants the per-round prepass
 	in, out []portBind
 	ins     []*token.Batch
 	outs    []*token.Batch
@@ -429,6 +430,7 @@ func (r *Runner) buildPlans(parts [][]int, rings map[*channel]*ringPair, n int) 
 				idx:     i,
 				ep:      e,
 				name:    e.Name(),
+				eager:   asEagerStarter(e),
 				in:      make([]portBind, np),
 				out:     make([]portBind, np),
 				ins:     make([]*token.Batch, np),
@@ -458,6 +460,15 @@ func (r *Runner) buildPlans(parts [][]int, rings map[*channel]*ringPair, n int) 
 		}
 	}
 	return plans
+}
+
+// asEagerStarter resolves the optional prepass capability once at plan
+// build time, so the hot loops test a field instead of a type assertion.
+func asEagerStarter(e Endpoint) EagerStarter {
+	if s, ok := e.(EagerStarter); ok {
+		return s
+	}
+	return nil
 }
 
 // runParallel is RunParallel plus a wall-time measurement covering only
@@ -589,20 +600,23 @@ func (r *Runner) poolLoop(plans [][]*epPlan, hbWorker, rounds, n int, m *runnerM
 			if m != nil {
 				epAcc = make([]uint64, len(plans))
 			}
+			// Eager endpoints on this worker: their inputs pop early each
+			// round so StartBatch overlaps the rest of the round.
+			var eagers []*epPlan
+			for _, pl := range plans {
+				if pl.eager != nil {
+					eagers = append(eagers, pl)
+				}
+			}
 			for round := 0; round < rounds; round++ {
 				if abort.Load() {
 					return
 				}
 				winStart := base + clock.Cycles(round)*r.step
 				curWin = winStart
-				// Tick timing samples the same round indices as the
-				// sequential runner so the histograms stay comparable;
-				// each tick pays its own two clock reads so ring-wait
-				// time never pollutes the histogram.
-				sampled := m != nil && round&tickSampleMask == 0
-				for pi, pl := range plans {
+				for _, pl := range eagers {
 					curName = pl.name
-					in, out := pl.ins, pl.outs
+					in := pl.ins
 					for p := range pl.in {
 						switch bind := pl.in[p]; {
 						case bind.rp != nil:
@@ -615,6 +629,39 @@ func (r *Runner) poolLoop(plans [][]*epPlan, hbWorker, rounds, n int, m *runnerM
 							in[p] = bind.ch.pop()
 						default:
 							in[p] = pl.empty
+						}
+					}
+					if inj := r.injector; inj != nil {
+						for p := range pl.in {
+							if pl.in[p].connected() {
+								inj.FilterInput(pl.name, p, winStart, in[p])
+							}
+						}
+					}
+					pl.eager.StartBatch(n, in)
+				}
+				// Tick timing samples the same round indices as the
+				// sequential runner so the histograms stay comparable;
+				// each tick pays its own two clock reads so ring-wait
+				// time never pollutes the histogram.
+				sampled := m != nil && round&tickSampleMask == 0
+				for pi, pl := range plans {
+					curName = pl.name
+					in, out := pl.ins, pl.outs
+					for p := range pl.in {
+						if pl.eager == nil {
+							switch bind := pl.in[p]; {
+							case bind.rp != nil:
+								b, ok := popWait(bind.rp.data, &abort)
+								if !ok {
+									return
+								}
+								in[p] = b
+							case bind.ch != nil:
+								in[p] = bind.ch.pop()
+							default:
+								in[p] = pl.empty
+							}
 						}
 						switch bind := pl.out[p]; {
 						case bind.rp != nil:
@@ -634,7 +681,7 @@ func (r *Runner) poolLoop(plans [][]*epPlan, hbWorker, rounds, n int, m *runnerM
 							out[p] = pl.scratch[p]
 						}
 					}
-					if inj := r.injector; inj != nil {
+					if inj := r.injector; inj != nil && pl.eager == nil {
 						for p := range pl.in {
 							if pl.in[p].connected() {
 								inj.FilterInput(pl.name, p, winStart, in[p])

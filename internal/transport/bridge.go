@@ -40,7 +40,7 @@ import (
 // Protocol constants for the framed bridge stream.
 const (
 	helloMagic   uint32 = 0x4653_4b54 // "FSKT"
-	helloVersion uint16 = 2
+	helloVersion uint16 = 3 // bumped for the v3 run-length frame codec
 	helloSize           = 32
 )
 
@@ -107,10 +107,14 @@ func (c *BridgeConfig) fillDefaults() {
 	}
 }
 
-// ringEntry is one retained sent batch.
+// ringEntry is one retained sent frame, stored fully encoded (sequence
+// number included — v3 encodes it as an absolute value for exactly this
+// reason): a resync retransmits the original bytes with a plain Write
+// instead of re-encoding every retained batch per reconnect, and the
+// retransmission is guaranteed byte-identical to the first transmission.
 type ringEntry struct {
 	seq uint64
-	b   *token.Batch
+	buf []byte
 }
 
 // Bridge splices one token stream endpoint of a distributed simulation.
@@ -151,9 +155,75 @@ type Bridge struct {
 	reconnects int // total successful reconnects, for reports
 	scratch    token.Batch
 
+	// Wire-level byte accounting, fed by the counting shims installed
+	// around the connection in setConn — the totals are what actually
+	// crossed the wire (frames, handshakes, duplicates, partial writes),
+	// not a recomputation. Atomic because the send side is counted from
+	// the writer goroutine. precodec tracks what the same traffic would
+	// have cost under the v2 fixed-width codec.
+	wireSent    atomic.Uint64
+	wireRecv    atomic.Uint64
+	sentFlushed uint64 // wireSent already forwarded to the obs counters
+	recvFlushed uint64
+	precodec    uint64
+
+	// Persistent writer goroutine: one per bridge, started lazily on the
+	// first submit and living across exchanges, so the steady-state send
+	// path is a channel round-trip instead of a goroutine+channel
+	// allocation per exchange. writerMu serialises submits against
+	// stopWriter; the buffered channels guarantee a submitted request is
+	// always drained and always answered, even across a concurrent Close.
+	writerMu   sync.Mutex
+	writerUp   bool
+	writerCh   chan writeReq
+	writerDone chan error
+
+	// Current-frame encode state for the overlapped exchange: sendBuf
+	// holds the encoded frame for sendSeq once sendReady; sendSubmitted
+	// means the writer goroutine holds an in-flight request for it (set
+	// by the eager StartBatch path, collected by the next exchange).
+	sendBuf       []byte
+	sendSeq       uint64
+	sendReady     bool
+	sendSubmitted bool
+	reqFrames     [][]byte // reusable request scratch
+
 	// metrics, when non-nil, exports the recovery ledger and wire volume
 	// to the observability layer (see metrics.go).
 	metrics *bridgeMetrics
+}
+
+// writeReq is one batched write handed to the persistent writer
+// goroutine: the frames are written in order through the buffered writer,
+// then flushed as a single network write.
+type writeReq struct {
+	frames [][]byte
+}
+
+// countingWriter and countingReader are the wire-truth shims installed
+// between the bufio layer and the connection: every byte that actually
+// crosses (including retransmissions, duplicates and torn partial writes)
+// is counted, so the byte metrics no longer recompute frame sizes.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
 }
 
 // NewBridge wraps a connection with the default (blocking, non-reconnecting)
@@ -176,8 +246,8 @@ func (b *Bridge) setConn(conn io.ReadWriter) {
 	b.connMu.Lock()
 	b.conn = conn
 	b.connMu.Unlock()
-	b.w = bufio.NewWriter(conn)
-	b.r = bufio.NewReader(conn)
+	b.w = bufio.NewWriter(&countingWriter{w: conn, n: &b.wireSent})
+	b.r = bufio.NewReader(&countingReader{r: conn, n: &b.wireRecv})
 }
 
 // currentConn reads the connection pointer under the lock; callers that
@@ -211,6 +281,108 @@ func (b *Bridge) Received() uint64 { return b.nextRecv }
 // confirmed, which a supervisor reports for a dead partition.
 func (b *Bridge) Step() int { return b.step }
 
+// WireBytesSent and WireBytesRecv report the exact byte totals that
+// crossed the connection in each direction (frames, handshakes and
+// retransmissions included), accumulated across reconnects. Safe to read
+// after the run completes; the bench uses them without needing a
+// registry.
+func (b *Bridge) WireBytesSent() uint64 { return b.wireSent.Load() }
+func (b *Bridge) WireBytesRecv() uint64 { return b.wireRecv.Load() }
+
+// PrecodecBytes reports what the bridge's sent traffic would have cost
+// under the v2 fixed-width codec — the denominator-free baseline for the
+// codec's compression ratio.
+func (b *Bridge) PrecodecBytes() uint64 { return b.precodec }
+
+// flushWireMetrics forwards the counting shims' deltas to the obs
+// counters. Called from the scheduler goroutine after every handshake and
+// exchange, so the exported byte totals track the wire truth even under
+// duplicate, resync or torn-write traffic.
+func (b *Bridge) flushWireMetrics() {
+	m := b.metrics
+	if m == nil {
+		return
+	}
+	if s := b.wireSent.Load(); s > b.sentFlushed {
+		m.bytesSent.Add(s - b.sentFlushed)
+		b.sentFlushed = s
+	}
+	if r := b.wireRecv.Load(); r > b.recvFlushed {
+		m.bytesRecv.Add(r - b.recvFlushed)
+		b.recvFlushed = r
+	}
+}
+
+// writerLoop is the persistent writer goroutine's body: write each
+// request's frames, flush, reply. On failure it closes the connection so
+// a reader blocked on the reply side of the exchange fails within one
+// syscall instead of one timeout. It always replies — the done channel is
+// buffered, so the reply survives even when the collector arrives after a
+// stopWriter — and exits when the request channel closes.
+func (b *Bridge) writerLoop(ch chan writeReq, done chan error) {
+	for req := range ch {
+		var err error
+		for _, f := range req.frames {
+			if _, err = b.w.Write(f); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = b.w.Flush()
+		}
+		if err != nil {
+			b.closeConn()
+		}
+		done <- err
+	}
+}
+
+// submitWrite hands the prepared reqFrames to the writer goroutine,
+// starting it lazily, and reports false when the bridge is closed. The
+// channel send cannot block: the writer is always idle (its previous
+// reply collected) when the scheduler submits, and the buffer absorbs the
+// race with a concurrent Close.
+func (b *Bridge) submitWrite() bool {
+	b.writerMu.Lock()
+	defer b.writerMu.Unlock()
+	if !b.writerUp {
+		if b.closed.Load() {
+			return false
+		}
+		b.writerCh = make(chan writeReq, 1)
+		b.writerDone = make(chan error, 1)
+		go b.writerLoop(b.writerCh, b.writerDone)
+		b.writerUp = true
+	}
+	b.writerCh <- writeReq{frames: b.reqFrames}
+	return true
+}
+
+// stopWriter retires the writer goroutine. Safe from any goroutine: an
+// in-flight request is still drained (range reads buffered items before
+// observing the close) and its reply still delivered, so a concurrent
+// exchange never loses its reply.
+func (b *Bridge) stopWriter() {
+	b.writerMu.Lock()
+	if b.writerUp {
+		close(b.writerCh)
+		b.writerUp = false
+	}
+	b.writerMu.Unlock()
+}
+
+// encodeFrame encodes the batch for seq into the reusable sendBuf and
+// charges the precodec (v2-equivalent) byte accounting.
+func (b *Bridge) encodeFrame(seq uint64, in *token.Batch) {
+	b.sendBuf = appendFrame(b.sendBuf[:0], seq, in)
+	b.sendSeq = seq
+	b.sendReady = true
+	b.precodec += frameWireBytes(len(in.Slots))
+	if m := b.metrics; m != nil {
+		m.precodecBytes.Add(frameWireBytes(len(in.Slots)))
+	}
+}
+
 // Degrade marks the bridge permanently down: TickBatch becomes a no-op
 // that emits empty batches (the surviving partition sees silence from the
 // dead one, exactly as if those links went dark). The underlying
@@ -224,6 +396,7 @@ func (b *Bridge) Degrade() {
 		m.degraded.Set(1)
 	}
 	b.closeConn()
+	b.stopWriter()
 }
 
 // Reset revives a bridge (possibly degraded or errored) onto a fresh
@@ -240,6 +413,17 @@ func (b *Bridge) Reset(conn io.ReadWriter, seq uint64) {
 		// conn it was built with (the respawned peer's pattern).
 		b.closeConn()
 	}
+	// Retire the previous writer goroutine before swapping connections.
+	// An aborted epoch can leave an eager StartBatch submit uncollected;
+	// the closed old connection guarantees the writer replies, so drain
+	// that reply here and the request/reply protocol is idle again.
+	b.stopWriter()
+	if b.sendSubmitted {
+		b.closeConn()
+		<-b.writerDone
+		b.sendSubmitted = false
+	}
+	b.sendReady = false
 	b.setConn(conn)
 	if b.closed.CompareAndSwap(true, false) {
 		// Revive a Closed bridge: arm a fresh stop channel for the next
@@ -277,6 +461,7 @@ func (b *Bridge) Close() error {
 		close(b.stop)
 	}
 	b.closeConn()
+	b.stopWriter()
 	return nil
 }
 
@@ -397,10 +582,11 @@ func (b *Bridge) handshake(step int) error {
 	if ph := binary.BigEndian.Uint64(peer[16:24]); ph != 0 && b.cfg.TopologyHash != 0 && ph != b.cfg.TopologyHash {
 		return errNonRetryable{fmt.Errorf("handshake: topology hash %#x, local %#x (the two halves describe different targets)", ph, b.cfg.TopologyHash)}
 	}
+	b.precodec += helloSize
 	if m := b.metrics; m != nil {
-		m.bytesSent.Add(helloSize)
-		m.bytesRecv.Add(helloSize)
+		m.precodecBytes.Add(helloSize)
 	}
+	b.flushWireMetrics()
 	resume := binary.BigEndian.Uint64(peer[24:32])
 	// resume may legitimately be nextSend+1: the peer committed our
 	// in-flight batch but its acknowledgment (the peer's own batch) was
@@ -422,66 +608,95 @@ func (b *Bridge) ringHas(seq uint64) bool {
 		return false
 	}
 	e := b.ring[seq%uint64(len(b.ring))]
-	return e.b != nil && e.seq == seq
+	return len(e.buf) > 0 && e.seq == seq
 }
 
-func (b *Bridge) ringPut(seq uint64, batch *token.Batch) {
+// ringPut retains one fully encoded frame for retransmission, reusing the
+// slot's buffer capacity so the steady-state commit path is a memcpy.
+func (b *Bridge) ringPut(seq uint64, frame []byte) {
 	if len(b.ring) == 0 {
 		b.ring = make([]ringEntry, b.cfg.ResendWindow)
 	}
 	e := &b.ring[seq%uint64(len(b.ring))]
-	if e.b == nil {
-		e.b = batch.Copy()
-	} else {
-		e.b.Reset(batch.N)
-		e.b.Slots = append(e.b.Slots[:0], batch.Slots...)
-	}
+	e.buf = append(e.buf[:0], frame...)
 	e.seq = seq
+}
+
+// StartBatch is the eager half of an overlapped exchange (the
+// fame.EagerStarter fast path): it encodes and submits this window's
+// frame to the persistent writer as soon as the local batch is ready, so
+// every cut-point bridge in a partition has its send in flight before any
+// of them blocks on a receive — K cut points cost ~1 round-trip per
+// window instead of K serial round-trips. It is a best-effort no-op
+// whenever the bridge is not in clean steady state (unhandshaken,
+// errored, degraded, closed, resynchronising, or step mismatch); the
+// following TickBatch then performs the full synchronous exchange,
+// including the first window's handshake.
+func (b *Bridge) StartBatch(n int, in []*token.Batch) {
+	if b.err != nil || b.degraded || b.closed.Load() || !b.handshaken {
+		return
+	}
+	if n != b.step || b.sendSubmitted || b.resendLow != b.nextSend {
+		return
+	}
+	b.encodeFrame(b.nextSend, in[0])
+	b.reqFrames = append(b.reqFrames[:0], b.sendBuf)
+	b.armWriteDeadline()
+	if b.submitWrite() {
+		b.sendSubmitted = true
+	}
 }
 
 // exchange performs one sequenced batch swap: retransmit anything the peer
 // is missing, send the current batch, and read frames until the expected
-// sequence number arrives (discarding duplicates). The write side runs
-// concurrently with the read so the symmetric exchange cannot deadlock on
-// unbuffered connections.
+// sequence number arrives (discarding duplicates). The send runs on the
+// persistent writer goroutine concurrently with the read, so the
+// symmetric exchange cannot deadlock on unbuffered connections — and when
+// StartBatch already put this window's frame in flight, the send cost has
+// fully overlapped whatever the scheduler did since.
 func (b *Bridge) exchange(n int, in, out *token.Batch) error {
 	cur := b.nextSend
-	if m := b.metrics; m != nil && b.resendLow < cur {
-		m.resyncs.Inc()
-		m.resentFrames.Add(cur - b.resendLow)
+	if !b.sendReady || b.sendSeq != cur {
+		b.encodeFrame(cur, in)
 	}
-	b.armWriteDeadline()
-	writeDone := make(chan error, 1)
-	go func() {
-		err := func() error {
+	if !b.sendSubmitted {
+		b.reqFrames = b.reqFrames[:0]
+		if b.resendLow < cur {
+			if m := b.metrics; m != nil {
+				m.resyncs.Inc()
+				m.resentFrames.Add(cur - b.resendLow)
+			}
 			for seq := b.resendLow; seq < cur; seq++ {
 				if !b.ringHas(seq) {
 					return errNonRetryable{fmt.Errorf("batch %d fell out of the resend window", seq)}
 				}
-				if err := b.writeFrame(seq, b.ring[seq%uint64(len(b.ring))].b); err != nil {
-					return err
-				}
+				b.reqFrames = append(b.reqFrames, b.ring[seq%uint64(len(b.ring))].buf)
 			}
-			if b.resendLow <= cur {
-				// Skipped only when the peer already committed our current
-				// batch before the connection dropped.
-				if err := b.writeFrame(cur, in); err != nil {
-					return err
-				}
-			}
-			return b.w.Flush()
-		}()
-		if err != nil {
-			b.closeConn() // unblock the reader if the peer is silent
 		}
-		writeDone <- err
-	}()
+		if b.resendLow <= cur {
+			// Skipped only when the peer already committed our current
+			// batch before the connection dropped.
+			b.reqFrames = append(b.reqFrames, b.sendBuf)
+		}
+		b.armWriteDeadline()
+		if !b.submitWrite() {
+			return ErrClosed
+		}
+		b.sendSubmitted = true
+	}
 
+	b.armReadDeadline()
+	var stallStart time.Time
+	if b.metrics != nil {
+		stallStart = time.Now()
+	}
 	readErr := b.readExpected(out)
 	if readErr != nil {
 		b.closeConn() // unblock the writer if it is stuck mid-write
 	}
-	writeErr := <-writeDone
+	writeErr := <-b.writerDone
+	b.sendSubmitted = false
+	b.flushWireMetrics()
 	// When both sides fail, one of them closed the connection to unblock
 	// the other: a closed-pipe error is then the secondary symptom, not
 	// the cause, so report the genuine failure.
@@ -500,14 +715,15 @@ func (b *Bridge) exchange(n int, in, out *token.Batch) error {
 	}
 	// Committed: the peer has everything up to and including cur, and we
 	// consumed its batch for this window.
-	b.ringPut(cur, in)
+	b.ringPut(cur, b.sendBuf)
+	b.sendReady = false
 	b.nextSend = cur + 1
 	b.resendLow = b.nextSend
 	b.nextRecv++
 	if m := b.metrics; m != nil {
 		m.batchesSent.Inc()
 		m.batchesRecv.Inc()
-		m.bytesRecv.Add(frameWireBytes(len(out.Slots)))
+		m.stallNanos.Observe(uint64(time.Since(stallStart)))
 	}
 	return nil
 }
@@ -519,22 +735,20 @@ func (b *Bridge) exchange(n int, in, out *token.Batch) error {
 func (b *Bridge) readExpected(out *token.Batch) error {
 	for {
 		b.armReadDeadline()
-		var hdr [8]byte
-		if _, err := io.ReadFull(b.r, hdr[:]); err != nil {
+		seq, err := readFrameSeq(b.r)
+		if err != nil {
 			return err
 		}
-		seq := binary.BigEndian.Uint64(hdr[:])
 		switch {
 		case seq == b.nextRecv:
-			return ReadBatch(b.r, out)
+			return readBatchV3(b.r, out)
 		case seq < b.nextRecv:
 			// Duplicate from a resync: decode and discard.
-			if err := ReadBatch(b.r, &b.scratch); err != nil {
+			if err := readBatchV3(b.r, &b.scratch); err != nil {
 				return err
 			}
 			if m := b.metrics; m != nil {
 				m.dupFrames.Inc()
-				m.bytesRecv.Add(frameWireBytes(len(b.scratch.Slots)))
 			}
 		default:
 			if m := b.metrics; m != nil {
@@ -543,21 +757,6 @@ func (b *Bridge) readExpected(out *token.Batch) error {
 			return errNonRetryable{fmt.Errorf("sequence gap: got batch %d, expected %d", seq, b.nextRecv)}
 		}
 	}
-}
-
-func (b *Bridge) writeFrame(seq uint64, batch *token.Batch) error {
-	var hdr [8]byte
-	binary.BigEndian.PutUint64(hdr[:], seq)
-	if _, err := b.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if err := WriteBatch(b.w, batch); err != nil {
-		return err
-	}
-	if m := b.metrics; m != nil {
-		m.bytesSent.Add(frameWireBytes(len(batch.Slots)))
-	}
-	return nil
 }
 
 // reconnect tears down the current connection and redials with

@@ -59,9 +59,8 @@ func TestBridgePeerClosesMidBatch(t *testing.T) {
 		// Read the bridge's first frame concurrently (net.Pipe is
 		// synchronous), then send a truncated frame and vanish.
 		go io.Copy(io.Discard, c2)
-		var hdr [8]byte // seq 0
-		c2.Write(hdr[:])
-		c2.Write([]byte{0, 0, 0, 16}) // half a batch header
+		// seq 0, N=16, then vanish before the run count: a torn v3 frame.
+		c2.Write([]byte{0, 16})
 		c2.Close()
 	}()
 	br := NewBridge("wedge", c1)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/token"
 )
 
 // TestBridgeMetricsCleanRun drives two bridges over an in-memory pipe
@@ -52,13 +53,45 @@ func TestBridgeMetricsCleanRun(t *testing.T) {
 	if got := get("transport_batches_recv_total"); got != rounds {
 		t.Errorf("batches_recv = %d, want %d", got, rounds)
 	}
-	// Each side wrote one hello and one single-slot frame per round.
-	wantBytes := uint64(helloSize) + rounds*frameWireBytes(1)
-	if got := get("transport_bytes_sent_total"); got != wantBytes {
-		t.Errorf("bytes_sent = %d, want %d", got, wantBytes)
+	// Each side wrote one hello and one single-slot frame per round. The
+	// byte counters come from the connection shims, so the expectation is
+	// the exact v3 encoding of the frames this test makes each side send —
+	// and must agree with the bridge's own wire accessors.
+	frameBytes := func(data func(r uint64) uint64) uint64 {
+		total := uint64(helloSize)
+		for r := uint64(0); r < rounds; r++ {
+			b := token.NewBatch(n)
+			b.Put(0, token.Token{Data: data(r), Valid: true})
+			total += uint64(len(appendFrame(nil, r, b)))
+		}
+		return total
 	}
-	if got := get("transport_bytes_recv_total"); got != wantBytes {
-		t.Errorf("bytes_recv = %d, want %d", got, wantBytes)
+	wantSent := frameBytes(func(r uint64) uint64 { return r })
+	wantRecv := frameBytes(func(r uint64) uint64 { return 100 + r })
+	if got := get("transport_bytes_sent_total"); got != wantSent {
+		t.Errorf("bytes_sent = %d, want %d", got, wantSent)
+	}
+	if got := get("transport_bytes_recv_total"); got != wantRecv {
+		t.Errorf("bytes_recv = %d, want %d", got, wantRecv)
+	}
+	if got := br.WireBytesSent(); got != wantSent {
+		t.Errorf("WireBytesSent = %d, want %d", got, wantSent)
+	}
+	if got := br.WireBytesRecv(); got != wantRecv {
+		t.Errorf("WireBytesRecv = %d, want %d", got, wantRecv)
+	}
+	// The precodec counter prices the same sent traffic at the v2 codec's
+	// fixed framing; on this single-slot-per-round run the v3 stream must
+	// come in strictly under it.
+	wantPre := uint64(helloSize) + rounds*frameWireBytes(1)
+	if got := get("transport_precodec_bytes_total"); got != wantPre {
+		t.Errorf("precodec_bytes = %d, want %d", got, wantPre)
+	}
+	if wantSent >= wantPre {
+		t.Errorf("v3 wire bytes %d not below the v2 baseline %d", wantSent, wantPre)
+	}
+	if got := s.Histograms[obs.Label("transport_stall_nanos", "bridge", "local")]; got.Count != rounds {
+		t.Errorf("stall_nanos count = %d, want %d", got.Count, rounds)
 	}
 	for _, m := range []string{
 		"transport_reconnects_total", "transport_resyncs_total",

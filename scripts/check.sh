@@ -152,6 +152,18 @@ for attempt in 1 2 3; do
 done
 [ "$SCALE_OK" = 1 ] || { echo "FAIL: 256-node sim rate below 0.08 of the 64-node rate on 3 attempts" >&2; exit 1; }
 
+if [ "${FIRESIM_CHECK_HEAVY:-0}" = 1 ]; then
+    echo "== full-datacenter scale point (1024 nodes, FIRESIM_CHECK_HEAVY) =="
+    # The paper's complete 4x8x32 datacenter topology as the tail of the
+    # Fig. 9 curve. Opt-in: deploying and ticking ~1100 endpoints
+    # multiplies the gate's wall time, so the default run stops at 256.
+    # The same 0.08 shape floor applies between the two largest sizes
+    # (1024 vs 256 here).
+    timeout 600 go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 1 -node-nodes 0 \
+        -scale-nodes 8,64,256,1024 -scale-rounds 256 -scale-reps 2 \
+        -scale-min-frac 0.08 -out "$(mktemp)" >/dev/null
+fi
+
 echo "== multiplexed-mode equivalence smoke (-race) =="
 # The many-nodes-per-worker scheduling mode must stay bit-identical to the
 # sequential scheduler under the race detector: stream equivalence across
@@ -195,6 +207,30 @@ timeout 180 go run ./cmd/firesim run-dist -tree 4,8,8 -cut-level 2 -procs 4 \
     -horizon 16384 -ckpt-every 2048 \
     -chaos 'kill:shard1@4096,stall:shard2@10240+5000' \
     -verify -quiet
+
+echo "== distributed token-plane gate =="
+# The dist bench pass: an 8-node, 3-process loopback-TCP run per variant,
+# each checked bit-identical against the same spec in-process before any
+# number is reported. Gates the v3 wire codec's compression against the
+# v2 fixed-width baseline at both ends of the operating range (idle
+# windows must shrink >=3x, half-line-rate dense windows >=1.5x) and the
+# dense variant's sim rate against the in-process run (>=0.01 of it —
+# measured ~0.05; the floor trips if the exchange path regresses to
+# multiple RTTs per window). The hard timeout guards against a bridge
+# deadlock; retries de-flake the rate floor on a loaded host, a real
+# regression fails every attempt.
+DIST_OK=0
+for attempt in 1 2 3; do
+    if timeout 180 go run ./cmd/firesim bench -nodes 2 -rounds 64 -reps 1 -node-nodes 0 \
+        -dist-nodes 8 -dist-procs 3 \
+        -dist-idle-min-ratio 3 -dist-dense-min-ratio 1.5 -dist-min-frac 0.01 \
+        -out "$(mktemp)" >/dev/null; then
+        DIST_OK=1
+        break
+    fi
+    echo "   attempt $attempt missed the dist token-plane gate, retrying"
+done
+[ "$DIST_OK" = 1 ] || { echo "FAIL: distributed token-plane gate on 3 attempts" >&2; exit 1; }
 
 echo "== snapshot fuzz (short) =="
 # A few seconds of coverage-guided fuzzing over the snapshot decoder: the
